@@ -1,0 +1,122 @@
+//! Calibration of the aging model against the paper's reported guardbands.
+
+use crate::{AgingModel, AlphaPowerLaw, BtiModel};
+#[cfg(test)]
+use crate::{DeltaVth, Lifetime, StressFactor};
+
+/// Nominal supply voltage of the 45 nm-class technology, in volts.
+pub const VDD_V: f64 = 1.1;
+/// Nominal fresh threshold voltage, in volts.
+pub const VTH0_V: f64 = 0.4;
+/// Velocity-saturation exponent of the first-order delay law (paper Eq. 1).
+pub const ALPHA: f64 = 2.0;
+/// Reaction–diffusion time exponent `n` (≈ 1/6).
+pub const TIME_EXPONENT: f64 = 0.16;
+/// Stress (duty-cycle) exponent `γ`.
+pub const STRESS_EXPONENT: f64 = 0.5;
+/// Threshold shift after 10 years at 100 % stress, in volts.
+///
+/// Chosen so that the 10-year worst-case delay degradation is ≈ +16 %,
+/// matching the guardband visible in the paper's Fig. 4 characterization of
+/// the 32-bit adder (≈ 155 ps fresh → ≈ 180 ps after 10 years worst-case).
+pub const DELTA_VTH_10Y_WORST_V: f64 = 0.0511;
+
+/// Calibration bundle producing the workspace-default [`AgingModel`].
+///
+/// The calibration targets, all taken from the paper:
+///
+/// * 10-year worst-case aging ⇒ ≈ +16 % gate delay (Fig. 4 guardband),
+/// * 1-year worst-case aging ⇒ ≈ +11 % gate delay (Fig. 4),
+/// * balanced (50 %) stress ⇒ `√0.5 ≈ 0.71×` the worst-case `ΔVth`.
+///
+/// # Examples
+///
+/// ```
+/// use aix_aging::Calibration;
+///
+/// let model = Calibration::default().into_model();
+/// let f = model.delay_factor(aix_aging::StressFactor::WORST, aix_aging::Lifetime::YEARS_10);
+/// assert!((f - 1.16).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Fresh threshold voltage in volts.
+    pub vth0: f64,
+    /// Alpha-power exponent.
+    pub alpha: f64,
+    /// BTI time exponent.
+    pub time_exponent: f64,
+    /// BTI stress exponent.
+    pub stress_exponent: f64,
+    /// `ΔVth` after ten years at full stress, in volts.
+    pub delta_vth_10y_worst: f64,
+}
+
+impl Calibration {
+    /// Converts the calibration into a [`BtiModel`] by solving the
+    /// power-law prefactor from the 10-year anchor point.
+    pub fn bti(&self) -> BtiModel {
+        // ΔVth(10y, S=1) = a · 10^n  ⇒  a = anchor / 10^n
+        let a = self.delta_vth_10y_worst / 10f64.powf(self.time_exponent);
+        BtiModel::new(a, self.time_exponent, self.stress_exponent)
+    }
+
+    /// Converts the calibration into an [`AlphaPowerLaw`].
+    pub fn law(&self) -> AlphaPowerLaw {
+        AlphaPowerLaw::new(self.vdd, self.vth0, self.alpha)
+    }
+
+    /// Builds the complete [`AgingModel`].
+    pub fn into_model(self) -> AgingModel {
+        AgingModel::new(self.bti(), self.law())
+    }
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Self {
+            vdd: VDD_V,
+            vth0: VTH0_V,
+            alpha: ALPHA,
+            time_exponent: TIME_EXPONENT,
+            stress_exponent: STRESS_EXPONENT,
+            delta_vth_10y_worst: DELTA_VTH_10Y_WORST_V,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchor_point_is_respected() {
+        let cal = Calibration::default();
+        let bti = cal.bti();
+        let dvth = bti.delta_vth(StressFactor::WORST, Lifetime::YEARS_10);
+        assert!((dvth.volts() - DELTA_VTH_10Y_WORST_V).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anchor_produces_sixteen_percent_delay() {
+        let cal = Calibration::default();
+        let f = cal
+            .law()
+            .degradation_factor(DeltaVth::from_volts(cal.delta_vth_10y_worst));
+        assert!((f - 1.16).abs() < 0.01, "got {f}");
+    }
+
+    #[test]
+    fn custom_calibration_flows_through() {
+        let cal = Calibration {
+            delta_vth_10y_worst: 0.03,
+            ..Calibration::default()
+        };
+        let model = cal.into_model();
+        let f = model.delay_factor(StressFactor::WORST, Lifetime::YEARS_10);
+        let expect = cal.law().degradation_factor(DeltaVth::from_volts(0.03));
+        assert!((f - expect).abs() < 1e-12);
+    }
+}

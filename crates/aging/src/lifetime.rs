@@ -1,0 +1,124 @@
+//! Operational lifetime, the projected duration a circuit must survive.
+
+use std::error::Error;
+use std::fmt;
+
+/// Projected operational lifetime in years.
+///
+/// # Examples
+///
+/// ```
+/// use aix_aging::Lifetime;
+///
+/// let lt = Lifetime::from_years(3.5);
+/// assert_eq!(lt.years(), 3.5);
+/// assert!(Lifetime::YEARS_1 < Lifetime::YEARS_10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Lifetime(f64);
+
+/// Error returned when constructing a [`Lifetime`] from a negative or
+/// non-finite duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidLifetimeError;
+
+impl fmt::Display for InvalidLifetimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lifetime must be a finite, non-negative number of years")
+    }
+}
+
+impl Error for InvalidLifetimeError {}
+
+impl Lifetime {
+    /// One year of operation — the paper's near-term evaluation point.
+    pub const YEARS_1: Lifetime = Lifetime(1.0);
+    /// Ten years of operation — the paper's projected lifetime.
+    pub const YEARS_10: Lifetime = Lifetime(10.0);
+    /// Zero elapsed time: a fresh circuit.
+    pub const FRESH: Lifetime = Lifetime(0.0);
+
+    /// Creates a lifetime of `years` years.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `years` is negative or not finite; use [`Lifetime::try_from_years`]
+    /// for a fallible variant.
+    pub fn from_years(years: f64) -> Self {
+        Self::try_from_years(years).expect("lifetime must be finite and non-negative")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidLifetimeError`] if `years` is negative or not finite.
+    pub fn try_from_years(years: f64) -> Result<Self, InvalidLifetimeError> {
+        if years.is_finite() && years >= 0.0 {
+            Ok(Self(years))
+        } else {
+            Err(InvalidLifetimeError)
+        }
+    }
+
+    /// The lifetime in years.
+    pub fn years(self) -> f64 {
+        self.0
+    }
+
+    /// The lifetime in seconds (365.25-day years).
+    pub fn seconds(self) -> f64 {
+        self.0 * 365.25 * 24.0 * 3600.0
+    }
+
+    /// Whether this is the zero lifetime (a fresh circuit).
+    pub fn is_fresh(self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl fmt::Display for Lifetime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if (self.0 - self.0.round()).abs() < 1e-9 {
+            write!(f, "{}y", self.0.round() as i64)
+        } else {
+            write!(f, "{:.2}y", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_validate() {
+        assert!(Lifetime::try_from_years(-1.0).is_err());
+        assert!(Lifetime::try_from_years(f64::NAN).is_err());
+        assert_eq!(Lifetime::try_from_years(2.0).unwrap().years(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lifetime must be finite")]
+    fn from_years_panics_on_negative() {
+        let _ = Lifetime::from_years(-0.5);
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        let one_year = Lifetime::YEARS_1.seconds();
+        assert!((one_year - 31_557_600.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Lifetime::YEARS_10.to_string(), "10y");
+        assert_eq!(Lifetime::from_years(2.5).to_string(), "2.50y");
+    }
+
+    #[test]
+    fn fresh_detection() {
+        assert!(Lifetime::FRESH.is_fresh());
+        assert!(!Lifetime::YEARS_1.is_fresh());
+    }
+}

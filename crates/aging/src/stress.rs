@@ -1,0 +1,199 @@
+//! Stress factors: the fraction of lifetime a transistor spends under stress.
+
+use std::error::Error;
+use std::fmt;
+
+/// Fraction of the operational lifetime a transistor spends under stress,
+/// in `[0, 1]`.
+///
+/// A pMOS transistor is under NBTI stress while its gate input is logic `0`;
+/// an nMOS transistor is under PBTI stress while its input is logic `1`.
+/// The paper's *worst-case* analysis sets `S = 100 %` for every transistor,
+/// the *balance* case `S = 50 %`, and the *actual case* derives per-gate
+/// values from simulated switching activity.
+///
+/// # Examples
+///
+/// ```
+/// use aix_aging::StressFactor;
+///
+/// let s = StressFactor::new(0.75)?;
+/// assert_eq!(s.value(), 0.75);
+/// assert!(StressFactor::new(1.5).is_err());
+/// # Ok::<(), aix_aging::InvalidStressError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct StressFactor(f64);
+
+/// Error returned when constructing a [`StressFactor`] outside `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidStressError;
+
+impl fmt::Display for InvalidStressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stress factor must lie in [0, 1] and be finite")
+    }
+}
+
+impl Error for InvalidStressError {}
+
+impl StressFactor {
+    /// Permanent stress (`S = 100 %`): the paper's conservative worst case.
+    pub const WORST: StressFactor = StressFactor(1.0);
+    /// Balanced stress (`S = 50 %`): the paper's "typical" case.
+    pub const BALANCED: StressFactor = StressFactor(0.5);
+    /// Full recovery (`S = 0`): a transistor that never ages.
+    pub const RECOVERY: StressFactor = StressFactor(0.0);
+
+    /// Creates a stress factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidStressError`] if `value` is not finite or lies
+    /// outside `[0, 1]`.
+    pub fn new(value: f64) -> Result<Self, InvalidStressError> {
+        if value.is_finite() && (0.0..=1.0).contains(&value) {
+            Ok(Self(value))
+        } else {
+            Err(InvalidStressError)
+        }
+    }
+
+    /// Creates a stress factor, clamping `value` into `[0, 1]`.
+    /// Non-finite input clamps to `0`.
+    pub fn saturating(value: f64) -> Self {
+        if value.is_nan() {
+            Self(0.0)
+        } else {
+            Self(value.clamp(0.0, 1.0))
+        }
+    }
+
+    /// The raw fraction in `[0, 1]`.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for StressFactor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0}%", self.0 * 100.0)
+    }
+}
+
+impl TryFrom<f64> for StressFactor {
+    type Error = InvalidStressError;
+
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Self::new(value)
+    }
+}
+
+/// Per-network stress of a logic gate: the pMOS (pull-up) and nMOS
+/// (pull-down) stress factors.
+///
+/// The degradation-aware cell library indexes its delay tables by exactly
+/// this pair, mirroring the (11×11) stress grid of the public library the
+/// paper consumes.
+///
+/// # Examples
+///
+/// ```
+/// use aix_aging::{StressFactor, StressPair};
+///
+/// let pair = StressPair::uniform(StressFactor::BALANCED);
+/// assert_eq!(pair.pmos, pair.nmos);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct StressPair {
+    /// NBTI stress of the pull-up network.
+    pub pmos: StressFactor,
+    /// PBTI stress of the pull-down network.
+    pub nmos: StressFactor,
+}
+
+impl StressPair {
+    /// Both networks permanently stressed — the worst case.
+    pub const WORST: StressPair = StressPair {
+        pmos: StressFactor::WORST,
+        nmos: StressFactor::WORST,
+    };
+
+    /// Both networks stressed half of the time — the balance case.
+    pub const BALANCED: StressPair = StressPair {
+        pmos: StressFactor::BALANCED,
+        nmos: StressFactor::BALANCED,
+    };
+
+    /// Creates a pair from separate pMOS/nMOS stress factors.
+    pub fn new(pmos: StressFactor, nmos: StressFactor) -> Self {
+        Self { pmos, nmos }
+    }
+
+    /// Creates a pair with identical stress on both networks.
+    pub fn uniform(stress: StressFactor) -> Self {
+        Self::new(stress, stress)
+    }
+
+    /// Derives a gate's stress pair from the probability of its inputs being
+    /// logic one, averaged over the gate's input pins.
+    ///
+    /// `p_one` is the mean signal probability of the gate inputs. The pMOS
+    /// network is stressed while inputs are low (probability `1 − p_one`),
+    /// the nMOS network while they are high (probability `p_one`).
+    pub fn from_signal_probability(p_one: f64) -> Self {
+        let p = p_one.clamp(0.0, 1.0);
+        Self {
+            pmos: StressFactor::saturating(1.0 - p),
+            nmos: StressFactor::saturating(p),
+        }
+    }
+}
+
+impl fmt::Display for StressPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(p:{}, n:{})", self.pmos, self.nmos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert!(StressFactor::new(-0.01).is_err());
+        assert!(StressFactor::new(1.01).is_err());
+        assert!(StressFactor::new(f64::NAN).is_err());
+        assert!(StressFactor::new(f64::INFINITY).is_err());
+        assert!(StressFactor::new(0.0).is_ok());
+        assert!(StressFactor::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn saturating_clamps() {
+        assert_eq!(StressFactor::saturating(2.0), StressFactor::WORST);
+        assert_eq!(StressFactor::saturating(-1.0), StressFactor::RECOVERY);
+        assert_eq!(StressFactor::saturating(f64::NAN), StressFactor::RECOVERY);
+        assert_eq!(StressFactor::saturating(0.3).value(), 0.3);
+    }
+
+    #[test]
+    fn pair_from_signal_probability_is_complementary() {
+        let pair = StressPair::from_signal_probability(0.25);
+        assert!((pair.pmos.value() - 0.75).abs() < 1e-12);
+        assert!((pair.nmos.value() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(StressFactor::BALANCED.to_string(), "50%");
+        assert!(!StressPair::WORST.to_string().is_empty());
+    }
+
+    #[test]
+    fn try_from_roundtrip() {
+        let s = StressFactor::try_from(0.4).unwrap();
+        assert_eq!(s.value(), 0.4);
+    }
+}

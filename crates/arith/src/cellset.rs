@@ -1,0 +1,51 @@
+//! Cached X1 cell ids for the generators.
+
+use aix_cells::{CellFunction, CellId, DriveStrength, Library};
+
+/// The X1 cells the arithmetic generators instantiate, resolved once.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CellSet {
+    pub and2: CellId,
+    pub or2: CellId,
+    pub xor2: CellId,
+    pub mux2: CellId,
+    pub ha: CellId,
+    pub fa: CellId,
+}
+
+impl CellSet {
+    /// Resolves the generator cell set from `library`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library is missing any required cell — impossible for
+    /// [`Library::nangate45_like`].
+    pub(crate) fn resolve(library: &Library) -> Self {
+        let get = |f: CellFunction| {
+            library
+                .find(f, DriveStrength::X1)
+                .unwrap_or_else(|| panic!("library missing {f} at X1"))
+        };
+        Self {
+            and2: get(CellFunction::And2),
+            or2: get(CellFunction::Or2),
+            xor2: get(CellFunction::Xor2),
+            mux2: get(CellFunction::Mux2),
+            ha: get(CellFunction::HalfAdder),
+            fa: get(CellFunction::FullAdder),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_from_default_library() {
+        let lib = Library::nangate45_like();
+        let set = CellSet::resolve(&lib);
+        assert_eq!(lib.cell(set.fa).function, CellFunction::FullAdder);
+        assert_eq!(lib.cell(set.mux2).function, CellFunction::Mux2);
+    }
+}

@@ -1,0 +1,49 @@
+//! Gate-level generators for the arithmetic RTL components the paper
+//! characterizes: adders, multipliers and multiply-accumulate (MAC) units.
+//!
+//! Every generator exists in two forms:
+//!
+//! * a *composable* form (`add_into`, `multiply_into`, `mac_into`) that
+//!   instantiates logic into an existing [`aix_netlist::Netlist`] and wires
+//!   it to caller-provided operand buses, and
+//! * a *component* form ([`build_adder`], [`build_multiplier`],
+//!   [`build_mac`]) that produces a complete netlist with named ports —
+//!   the unit the paper's characterization flow synthesizes and ages.
+//!
+//! # Precision reduction
+//!
+//! The paper's generic approximation is truncation of least-significant
+//! bits. [`ComponentSpec::precision`] below the full width ties the low
+//! operand bits to constant zero; the synthesis optimizer
+//! (`aix-synth`) then removes the dead logic, exactly like re-synthesizing
+//! the component at reduced precision, which shortens its critical path.
+//!
+//! # Examples
+//!
+//! ```
+//! use aix_arith::{build_adder, AdderKind, ComponentSpec};
+//! use aix_cells::Library;
+//! use aix_netlist::{bus_from_u64, bus_to_u64};
+//! use std::sync::Arc;
+//!
+//! let lib = Arc::new(Library::nangate45_like());
+//! let adder = build_adder(&lib, AdderKind::CarrySelect, ComponentSpec::full(8))?;
+//! let mut inputs = bus_from_u64(100, 8);
+//! inputs.extend(bus_from_u64(55, 8));
+//! let out = adder.eval(&inputs)?;
+//! assert_eq!(bus_to_u64(&out), 155);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod adder;
+mod cellset;
+mod mac;
+mod multiplier;
+mod spec;
+
+pub use adder::{add_into, build_adder, AdderKind};
+pub use mac::{build_mac, mac_into};
+pub use multiplier::{build_multiplier, multiply_into, MultiplierKind};
+pub use spec::{ComponentSpec, InvalidSpecError};
+
+pub(crate) use cellset::CellSet;

@@ -1,0 +1,171 @@
+//! Component specifications: operand width and effective precision.
+
+use std::error::Error;
+use std::fmt;
+
+/// Width and precision of an arithmetic component.
+///
+/// `width` is the declared operand width; `precision` is the number of
+/// most-significant operand bits that actually participate. The remaining
+/// `width − precision` least-significant bits are tied to constant zero —
+/// the paper's generic truncation-based approximation.
+///
+/// # Examples
+///
+/// ```
+/// use aix_arith::ComponentSpec;
+///
+/// let full = ComponentSpec::full(32);
+/// assert_eq!(full.truncated_bits(), 0);
+/// let cut = ComponentSpec::new(32, 29)?;
+/// assert_eq!(cut.truncated_bits(), 3);
+/// # Ok::<(), aix_arith::InvalidSpecError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ComponentSpec {
+    width: usize,
+    precision: usize,
+}
+
+/// Error returned for inconsistent width/precision combinations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidSpecError {
+    width: usize,
+    precision: usize,
+}
+
+impl fmt::Display for InvalidSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid component spec: precision {} must satisfy 1 <= precision <= width {} and width <= 64",
+            self.precision, self.width
+        )
+    }
+}
+
+impl Error for InvalidSpecError {}
+
+impl ComponentSpec {
+    /// Full-precision component of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds 64.
+    pub fn full(width: usize) -> Self {
+        Self::new(width, width).expect("width must be in 1..=64")
+    }
+
+    /// A component of `width` bits operating at `precision` effective bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidSpecError`] unless `1 ≤ precision ≤ width ≤ 64`.
+    pub fn new(width: usize, precision: usize) -> Result<Self, InvalidSpecError> {
+        if width == 0 || width > 64 || precision == 0 || precision > width {
+            Err(InvalidSpecError { width, precision })
+        } else {
+            Ok(Self { width, precision })
+        }
+    }
+
+    /// Declared operand width in bits.
+    pub fn width(self) -> usize {
+        self.width
+    }
+
+    /// Effective precision in bits.
+    pub fn precision(self) -> usize {
+        self.precision
+    }
+
+    /// Number of truncated least-significant bits.
+    pub fn truncated_bits(self) -> usize {
+        self.width - self.precision
+    }
+
+    /// The operand mask: ones on the bits that participate.
+    pub fn operand_mask(self) -> u64 {
+        let full = if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        };
+        full & !((1u64 << self.truncated_bits()) - 1)
+    }
+
+    /// Applies the truncation to an operand value (the functional reference
+    /// used by the RTL-level quality model and by tests).
+    pub fn truncate(self, value: u64) -> u64 {
+        value & self.operand_mask()
+    }
+
+    /// A spec with the same width and `bits` fewer effective bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidSpecError`] if the reduction would leave no bits.
+    pub fn reduced_by(self, bits: usize) -> Result<Self, InvalidSpecError> {
+        if bits >= self.precision {
+            Err(InvalidSpecError {
+                width: self.width,
+                precision: self.precision.saturating_sub(bits),
+            })
+        } else {
+            Self::new(self.width, self.precision - bits)
+        }
+    }
+}
+
+impl fmt::Display for ComponentSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.precision == self.width {
+            write!(f, "{}b", self.width)
+        } else {
+            write!(f, "{}b@{}", self.width, self.precision)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(ComponentSpec::new(0, 0).is_err());
+        assert!(ComponentSpec::new(8, 0).is_err());
+        assert!(ComponentSpec::new(8, 9).is_err());
+        assert!(ComponentSpec::new(65, 65).is_err());
+        assert!(ComponentSpec::new(64, 1).is_ok());
+    }
+
+    #[test]
+    fn mask_and_truncate() {
+        let spec = ComponentSpec::new(8, 5).unwrap();
+        assert_eq!(spec.truncated_bits(), 3);
+        assert_eq!(spec.operand_mask(), 0b1111_1000);
+        assert_eq!(spec.truncate(0xFF), 0b1111_1000);
+        assert_eq!(spec.truncate(0b0000_0111), 0);
+    }
+
+    #[test]
+    fn full_width_mask_is_all_ones() {
+        assert_eq!(ComponentSpec::full(64).operand_mask(), u64::MAX);
+        assert_eq!(ComponentSpec::full(8).operand_mask(), 0xFF);
+    }
+
+    #[test]
+    fn reduced_by_steps_down() {
+        let spec = ComponentSpec::full(32);
+        let cut = spec.reduced_by(3).unwrap();
+        assert_eq!(cut.precision(), 29);
+        assert!(spec.reduced_by(32).is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ComponentSpec::full(32).to_string(), "32b");
+        assert_eq!(ComponentSpec::new(32, 29).unwrap().to_string(), "32b@29");
+    }
+}

@@ -1,0 +1,44 @@
+//! End-to-end characterization cost: how long building one row of the
+//! aging-induced approximation library takes (the paper: "full
+//! characterization of our multiplier and adder took less than an hour"
+//! including gate-level activity extraction — ours is pure STA).
+
+use aix_cells::Library;
+use aix_core::{characterize_component, CharacterizationConfig, ComponentKind};
+use aix_synth::{Effort, Synthesizer};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_characterization(c: &mut Criterion) {
+    let cells = Arc::new(Library::nangate45_like());
+    let mut group = c.benchmark_group("characterize");
+    group.sample_size(10);
+    group.bench_function("adder16_quick", |b| {
+        let config = CharacterizationConfig::quick(ComponentKind::Adder, 16);
+        b.iter(|| black_box(characterize_component(&cells, &config).expect("characterization")));
+    });
+    group.finish();
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let cells = Arc::new(Library::nangate45_like());
+    let mut group = c.benchmark_group("synthesis");
+    group.sample_size(10);
+    for effort in [Effort::Area, Effort::Medium, Effort::Ultra] {
+        group.bench_function(format!("adder32_{effort}"), |b| {
+            let synth = Synthesizer::new(cells.clone(), effort);
+            b.iter(|| {
+                black_box(
+                    synth
+                        .adder(aix_arith::ComponentSpec::full(32))
+                        .expect("synthesis"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_characterization, bench_synthesis);
+criterion_main!(benches);

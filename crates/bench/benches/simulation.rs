@@ -1,0 +1,56 @@
+//! The §III runtime claim: timed gate-level simulation of the DCT datapath
+//! is orders of magnitude more expensive than the RTL-level model that the
+//! paper's methodology makes sufficient.
+//!
+//! (The paper quotes 4 days of gate-level simulation versus under 3 minutes
+//! of RTL simulation for one 1920×1080 image.)
+
+use aix_cells::Library;
+use aix_dct::{FixedPointTransform, GateLevelConfig, GateLevelPipeline};
+use aix_image::Sequence;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_rtl_vs_gate_level(c: &mut Criterion) {
+    let cells = Arc::new(Library::nangate45_like());
+    let frame = Sequence::Foreman.frame(16, 16, 0);
+    let exact = FixedPointTransform::exact();
+    let coeffs = aix_dct::encode_image(&frame, &exact);
+
+    let mut group = c.benchmark_group("idct_2x2_blocks");
+    group.sample_size(10);
+    group.bench_function("rtl_model", |b| {
+        b.iter(|| black_box(aix_dct::decode_image(&coeffs, &exact)));
+    });
+    let pipeline =
+        GateLevelPipeline::new(&cells, GateLevelConfig::fresh()).expect("pipeline synthesis");
+    group.bench_function("gate_level_timed", |b| {
+        b.iter(|| black_box(pipeline.decode_image(&coeffs).expect("simulation")));
+    });
+    group.finish();
+}
+
+fn bench_timed_simulator_step(c: &mut Criterion) {
+    use aix_arith::{build_adder, AdderKind, ComponentSpec};
+    use aix_sim::{OperandSource, SignedNormalOperands, TimedSimulator};
+    use aix_sta::NetDelays;
+
+    let cells = Arc::new(Library::nangate45_like());
+    let adder =
+        build_adder(&cells, AdderKind::KoggeStone, ComponentSpec::full(32)).expect("adder");
+    let delays = NetDelays::fresh(&adder);
+    let vectors: Vec<Vec<bool>> = SignedNormalOperands::for_width(32, 1).vectors(256).collect();
+    c.bench_function("timed_sim_step_adder32", |b| {
+        let mut sim = TimedSimulator::new(&adder, &delays).expect("simulator");
+        let mut i = 0;
+        b.iter(|| {
+            let out = sim.step(&vectors[i % vectors.len()], 1e9).expect("step");
+            i += 1;
+            black_box(out.timing_error)
+        });
+    });
+}
+
+criterion_group!(benches, bench_rtl_vs_gate_level, bench_timed_simulator_step);
+criterion_main!(benches);

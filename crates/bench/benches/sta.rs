@@ -1,0 +1,59 @@
+//! STA throughput: the characterization flow's inner loop is aging-aware
+//! static timing analysis, which must stay cheap (the paper's point is
+//! that STA replaces days of gate-level simulation).
+
+use aix_aging::{AgingModel, AgingScenario, Lifetime};
+use aix_arith::{build_multiplier, ComponentSpec, MultiplierKind};
+use aix_cells::{DegradationAwareLibrary, Library};
+use aix_sta::{analyze, NetDelays, StressSource};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_sta(c: &mut Criterion) {
+    let cells = Arc::new(Library::nangate45_like());
+    let mult = build_multiplier(&cells, MultiplierKind::Wallace, ComponentSpec::full(32))
+        .expect("multiplier");
+    let model = AgingModel::calibrated();
+    let scenario = AgingScenario::worst_case(Lifetime::YEARS_10);
+
+    let mut group = c.benchmark_group("sta_mult32");
+    group.bench_function("fresh_delays_plus_analysis", |b| {
+        b.iter(|| {
+            let delays = NetDelays::fresh(&mult);
+            black_box(analyze(&mult, &delays).expect("STA").max_delay_ps())
+        });
+    });
+    group.bench_function("aged_delays_plus_analysis", |b| {
+        b.iter(|| {
+            let delays = NetDelays::aged(&mult, &model, scenario);
+            black_box(analyze(&mult, &delays).expect("STA").max_delay_ps())
+        });
+    });
+    let tables = DegradationAwareLibrary::generate(&cells, &model, Lifetime::YEARS_10);
+    let stress = StressSource::Uniform(aix_aging::StressPair::WORST);
+    group.bench_function("table_lookup_delays_plus_analysis", |b| {
+        b.iter(|| {
+            let delays = NetDelays::aged_from_tables(&mult, &tables, &stress);
+            black_box(analyze(&mult, &delays).expect("STA").max_delay_ps())
+        });
+    });
+    group.finish();
+}
+
+fn bench_degradation_table_generation(c: &mut Criterion) {
+    let cells = Arc::new(Library::nangate45_like());
+    let model = AgingModel::calibrated();
+    c.bench_function("degradation_library_generation", |b| {
+        b.iter(|| {
+            black_box(DegradationAwareLibrary::generate(
+                &cells,
+                &model,
+                Lifetime::YEARS_10,
+            ))
+        });
+    });
+}
+
+criterion_group!(benches, bench_sta, bench_degradation_table_generation);
+criterion_main!(benches);

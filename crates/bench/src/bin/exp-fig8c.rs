@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 8c experiment. Pass `--full` for
+//! paper-scale workloads; see `aix_bench::Options` for flags.
+
+fn main() {
+    let options = aix_bench::Options::from_env();
+    print!("{}", aix_bench::experiments::fig8c::run(&options));
+}

@@ -1,0 +1,78 @@
+//! Ablation — the architecture duality behind the paper's two phenomena:
+//! how strongly a component's delay responds to precision reduction
+//! (Fig. 4/7's lever) versus how often its critical path is dynamically
+//! exercised (Fig. 1/2's error rates), per adder architecture.
+
+use crate::{Options, Table, STUDY_WIDTH};
+use aix_aging::{AgingModel, AgingScenario, Lifetime};
+use aix_arith::{AdderKind, ComponentSpec};
+use aix_cells::Library;
+use aix_sim::{measure_errors, OperandSource, SignedNormalOperands};
+use aix_sta::{analyze, NetDelays};
+use aix_synth::{Effort, Synthesizer};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Runs the architecture ablation.
+pub fn run(options: &Options) -> String {
+    let vectors = options.scaled("vectors", 2000, 50_000);
+    let cells = Arc::new(Library::nangate45_like());
+    let model = AgingModel::calibrated();
+    let synth = Synthesizer::new(cells.clone(), Effort::Ultra);
+    let scenario = AgingScenario::worst_case(Lifetime::YEARS_10);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Ablation — adder architecture: precision-delay slope vs dynamic error rate\n"
+    );
+    let mut table = Table::new(&[
+        "architecture",
+        "delay 32b [ps]",
+        "delay 22b [ps]",
+        "slope",
+        "area 32b [um2]",
+        "err @10y WC",
+    ]);
+    for kind in AdderKind::ALL {
+        let full = synth
+            .adder_with(kind, ComponentSpec::full(STUDY_WIDTH))
+            .expect("synthesis");
+        let cut = synth
+            .adder_with(kind, ComponentSpec::new(STUDY_WIDTH, 22).expect("valid"))
+            .expect("synthesis");
+        let d_full = analyze(&full, &NetDelays::fresh(&full))
+            .expect("STA")
+            .max_delay_ps();
+        let d_cut = analyze(&cut, &NetDelays::fresh(&cut))
+            .expect("STA")
+            .max_delay_ps()
+            .min(d_full);
+        let aged = NetDelays::aged(&full, &model, scenario);
+        let stats = measure_errors(
+            &full,
+            &aged,
+            d_full,
+            SignedNormalOperands::for_width(STUDY_WIDTH, 5).vectors(vectors),
+        )
+        .expect("simulation");
+        table.row_owned(vec![
+            kind.label().to_owned(),
+            format!("{d_full:.1}"),
+            format!("{d_cut:.1}"),
+            format!("{:.1}%", (1.0 - d_cut / d_full) * 100.0),
+            format!("{:.0}", full.stats().area_um2),
+            format!("{:.2}%", stats.error_percent()),
+        ]);
+    }
+    out.push_str(&table.render());
+    let _ = writeln!(
+        out,
+        "\nreading: carry-gated architectures (rca/cla/csel) shed delay under\n\
+         truncation but rarely exercise their critical path (low error rates);\n\
+         the balanced prefix tree (ks) errs at paper-magnitude rates but barely\n\
+         speeds up when truncated. A commercial synthesizer's netlists combine\n\
+         both behaviours; this workspace exposes the two levers separately."
+    );
+    out
+}

@@ -1,0 +1,105 @@
+//! Fig. 5 — stress-factor distributions under normally distributed inputs
+//! versus inputs extracted from a running IDCT.
+//!
+//! Paper claim: both stimuli produce very similar stress distributions and
+//! hence the same aging-induced delay, so artificial inputs suffice for
+//! actual-case characterization.
+
+use crate::{Options, Table, STUDY_WIDTH};
+use aix_aging::{AgingModel, Lifetime};
+use aix_arith::ComponentSpec;
+use aix_cells::Library;
+use aix_core::{actual_case_delays, ActualCaseStress, ComponentKind, StimulusKind};
+use aix_image::Sequence;
+use aix_sim::{stress_histogram, StressHistogram};
+use aix_sta::analyze;
+use aix_synth::Effort;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+fn sparkline(histogram: &StressHistogram) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let weights = histogram.weights();
+    let max = weights.iter().cloned().fold(f64::MIN_POSITIVE, f64::max);
+    weights
+        .iter()
+        .map(|w| GLYPHS[((w / max) * 7.0).round() as usize])
+        .collect()
+}
+
+/// Runs the Fig. 5 experiment.
+pub fn run(options: &Options) -> String {
+    let vectors = options.scaled("vectors", 1000, 100_000);
+    let cells = Arc::new(Library::nangate45_like());
+    let model = AgingModel::calibrated();
+    let netlist = ComponentKind::Adder
+        .synthesize(&cells, ComponentSpec::full(STUDY_WIDTH), Effort::Ultra)
+        .expect("synthesis");
+
+    let normal = ActualCaseStress::extract(
+        &netlist,
+        StimulusKind::NormalDistribution,
+        STUDY_WIDTH,
+        vectors,
+        11,
+    )
+    .expect("activity extraction");
+    let idct = ActualCaseStress::extract(
+        &netlist,
+        StimulusKind::IdctTrace(Sequence::Foreman),
+        STUDY_WIDTH,
+        vectors,
+        11,
+    )
+    .expect("activity extraction");
+
+    let h_normal = stress_histogram(normal.pairs());
+    let h_idct = stress_histogram(idct.pairs());
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig. 5 — transistor stress-factor distributions on the 32-bit adder ({vectors} vectors)\n"
+    );
+    let mut table = Table::new(&["stimulus", "histogram (S = 0% .. 100%)", "samples"]);
+    table.row_owned(vec![
+        "normal distribution".into(),
+        sparkline(&h_normal),
+        h_normal.total().to_string(),
+    ]);
+    table.row_owned(vec![
+        "IDCT trace".into(),
+        sparkline(&h_idct),
+        h_idct.total().to_string(),
+    ]);
+    out.push_str(&table.render());
+
+    let d_normal = analyze(
+        &netlist,
+        &actual_case_delays(&netlist, &normal, &model, Lifetime::YEARS_10),
+    )
+    .expect("STA")
+    .max_delay_ps();
+    let d_idct = analyze(
+        &netlist,
+        &actual_case_delays(&netlist, &idct, &model, Lifetime::YEARS_10),
+    )
+    .expect("STA")
+    .max_delay_ps();
+    let rel = (d_normal - d_idct).abs() / d_idct * 100.0;
+    let _ = writeln!(
+        out,
+        "\nhistogram L1 distance: {:.3} (0 = identical, 2 = disjoint)",
+        h_normal.distance(&h_idct)
+    );
+    let _ = writeln!(
+        out,
+        "10y actual-case delay: {d_normal:.1} ps (ND) vs {d_idct:.1} ps (IDCT) -> {rel:.2}% apart"
+    );
+    let _ = writeln!(
+        out,
+        "paper claim reproduced when the delay difference is negligible (<2%),\n\
+         which makes artificial stimuli sufficient for characterization."
+    );
+    out
+}

@@ -1,0 +1,69 @@
+//! The paper's headline result, aggregated from the Fig. 8 experiments:
+//! a small precision reduction sustains 10 years of worst-case aging with
+//! a mild PSNR cost while *improving* area and energy efficiency.
+
+use crate::{build_or_load_library, default_library_cache, Options};
+use aix_aging::{AgingModel, AgingScenario, Lifetime};
+use aix_cells::Library;
+use aix_core::{
+    apply_aging_approximations, average_psnr_db, compare_against_aging_aware,
+    evaluate_sequences, idct_design,
+};
+use aix_dct::DatapathPrecision;
+use aix_synth::Effort;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Runs the headline aggregation.
+pub fn run(options: &Options) -> String {
+    let cells = Arc::new(Library::nangate45_like());
+    let model = AgingModel::calibrated();
+    let scenario = AgingScenario::worst_case(Lifetime::YEARS_10);
+    let library = build_or_load_library(&cells, Effort::Ultra, Some(&default_library_cache()))
+        .expect("characterization");
+    let design = idct_design(&cells, Effort::Ultra).expect("IDCT synthesis");
+    let plan = apply_aging_approximations(&design, &library, &model, scenario).expect("flow");
+    let validation = plan
+        .validate(&cells, design.effort(), &model)
+        .expect("validation");
+    let mult = plan.block("multiplier").expect("multiplier block");
+    let acc = plan.block("accumulator").expect("accumulator block");
+    let precision = DatapathPrecision::new(
+        mult.truncated_bits() as u32,
+        acc.truncated_bits() as u32,
+    );
+    let results = evaluate_sequences(precision, 176, 144);
+    let average = average_psnr_db(&results);
+    let exact: f64 = results.iter().map(|r| r.exact_psnr_db).sum::<f64>() / results.len() as f64;
+    let vectors = options.scaled("vectors", 300, 5000);
+    let savings = compare_against_aging_aware(&design, &plan, &cells, &model, scenario, vectors)
+        .expect("comparison");
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Headline result (paper §VI / abstract)\n");
+    let _ = writeln!(
+        out,
+        "measured: a {}-bit reduction in the IDCT multiplier's precision sustains 10\n\
+         years of operation under worst-case aging ({}). This costs {:.1} dB of\n\
+         average PSNR ({:.1} -> {:.1} dB over nine sequences) while delivering\n\
+         {:+.0}% area and {:+.0}% energy efficiency over aging-aware synthesis.",
+        mult.truncated_bits(),
+        if validation.timing_met {
+            "timing validated"
+        } else {
+            "TIMING NOT MET"
+        },
+        exact - average,
+        exact,
+        average,
+        savings.area_saving() * 100.0,
+        savings.energy_saving() * 100.0,
+    );
+    let _ = writeln!(
+        out,
+        "\npaper:    a 3-bit reduction in precision is sufficient to sustain 10 years of\n\
+         operation under worst-case aging, an acceptable PSNR reduction of merely 8 dB,\n\
+         while increasing area and energy efficiency by 13%."
+    );
+    out
+}

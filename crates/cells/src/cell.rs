@@ -1,0 +1,217 @@
+//! Individual standard cells: timing, area and power parameters.
+
+use crate::CellFunction;
+use std::fmt;
+
+/// Index of a cell within a [`crate::Library`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub(crate) u32);
+
+impl CellId {
+    /// The raw index into the owning library's cell table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Drive strength of a cell: how strongly its output stage can charge a load.
+///
+/// Larger drives have proportionally lower output resistance (faster under
+/// load) but larger area, leakage and input capacitance — the classic sizing
+/// trade-off the aging-aware synthesis baseline exploits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum DriveStrength {
+    /// Half drive — used by area recovery to slow down paths with slack.
+    X05,
+    /// Unit drive.
+    #[default]
+    X1,
+    /// Double drive.
+    X2,
+    /// Quadruple drive.
+    X4,
+}
+
+impl DriveStrength {
+    /// All drive strengths, weakest first.
+    pub const ALL: [DriveStrength; 4] = [
+        DriveStrength::X05,
+        DriveStrength::X1,
+        DriveStrength::X2,
+        DriveStrength::X4,
+    ];
+
+    /// The numeric drive multiple (0.5, 1, 2 or 4).
+    pub fn factor(self) -> f64 {
+        match self {
+            DriveStrength::X05 => 0.5,
+            DriveStrength::X1 => 1.0,
+            DriveStrength::X2 => 2.0,
+            DriveStrength::X4 => 4.0,
+        }
+    }
+
+    /// The next stronger drive, or `None` at the top of the range.
+    pub fn upsized(self) -> Option<DriveStrength> {
+        match self {
+            DriveStrength::X05 => Some(DriveStrength::X1),
+            DriveStrength::X1 => Some(DriveStrength::X2),
+            DriveStrength::X2 => Some(DriveStrength::X4),
+            DriveStrength::X4 => None,
+        }
+    }
+
+    /// The next weaker drive, or `None` at the bottom of the range.
+    pub fn downsized(self) -> Option<DriveStrength> {
+        match self {
+            DriveStrength::X05 => None,
+            DriveStrength::X1 => Some(DriveStrength::X05),
+            DriveStrength::X2 => Some(DriveStrength::X1),
+            DriveStrength::X4 => Some(DriveStrength::X2),
+        }
+    }
+}
+
+impl fmt::Display for DriveStrength {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriveStrength::X05 => write!(f, "X05"),
+            DriveStrength::X1 => write!(f, "X1"),
+            DriveStrength::X2 => write!(f, "X2"),
+            DriveStrength::X4 => write!(f, "X4"),
+        }
+    }
+}
+
+/// One standard cell: a logic function at a drive strength, with its fresh
+/// timing, area and power parameters.
+///
+/// The delay model is the usual linear load model:
+/// `delay = intrinsic + drive_resistance × load_capacitance`.
+///
+/// # Examples
+///
+/// ```
+/// use aix_cells::{CellFunction, DriveStrength, Library};
+///
+/// let lib = Library::nangate45_like();
+/// let x1 = lib.cell(lib.find(CellFunction::Nand2, DriveStrength::X1).unwrap());
+/// let x4 = lib.cell(lib.find(CellFunction::Nand2, DriveStrength::X4).unwrap());
+/// // Under a heavy load the stronger drive is faster but larger.
+/// assert!(x4.delay_ps(8.0) < x1.delay_ps(8.0));
+/// assert!(x4.area_um2 > x1.area_um2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Library name, e.g. `NAND2_X2`.
+    pub name: String,
+    /// The boolean function computed.
+    pub function: CellFunction,
+    /// Output drive strength.
+    pub drive: DriveStrength,
+    /// Load-independent portion of the propagation delay, in picoseconds.
+    pub intrinsic_ps: f64,
+    /// Output resistance expressed as delay per load, in ps/fF.
+    pub drive_resistance_ps_per_ff: f64,
+    /// Capacitance presented by each input pin, in femtofarads.
+    pub input_cap_ff: f64,
+    /// Layout area in square micrometres.
+    pub area_um2: f64,
+    /// Static leakage power in nanowatts.
+    pub leakage_nw: f64,
+    /// Relative BTI sensitivity of the cell's worst timing arc. Stacked
+    /// networks (NOR pull-ups, compound gates) degrade slightly faster than
+    /// an inverter; this scales the library-level degradation factor.
+    pub aging_sensitivity: f64,
+}
+
+impl Cell {
+    /// Propagation delay in picoseconds when driving `load_ff` femtofarads.
+    pub fn delay_ps(&self, load_ff: f64) -> f64 {
+        self.intrinsic_ps + self.drive_resistance_ps_per_ff * load_ff.max(0.0)
+    }
+
+    /// Delay under aging: the fresh delay scaled by the (already
+    /// interpolated) library degradation factor, weighted by this cell's
+    /// BTI sensitivity.
+    pub fn aged_delay_ps(&self, load_ff: f64, degradation_factor: f64) -> f64 {
+        debug_assert!(degradation_factor >= 1.0);
+        self.delay_ps(load_ff) * (1.0 + self.aging_sensitivity * (degradation_factor - 1.0))
+    }
+
+    /// Internal switching energy per output toggle, in femtojoules,
+    /// approximated from the cell's drive and input capacitance.
+    pub fn switching_energy_fj(&self, vdd: f64) -> f64 {
+        // E = C_eff · Vdd²; the effective internal capacitance scales with
+        // the cell's input capacitance and pin count.
+        let c_eff_ff = self.input_cap_ff * self.function.input_count() as f64 * 0.5;
+        c_eff_ff * vdd * vdd
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Library;
+
+    #[test]
+    fn drive_strength_ordering() {
+        assert!(DriveStrength::X05 < DriveStrength::X1);
+        assert!(DriveStrength::X1 < DriveStrength::X2);
+        assert!(DriveStrength::X2 < DriveStrength::X4);
+        assert_eq!(DriveStrength::X1.upsized(), Some(DriveStrength::X2));
+        assert_eq!(DriveStrength::X4.upsized(), None);
+        assert_eq!(DriveStrength::X1.downsized(), Some(DriveStrength::X05));
+        assert_eq!(DriveStrength::X05.downsized(), None);
+        assert_eq!(DriveStrength::X4.downsized(), Some(DriveStrength::X2));
+    }
+
+    #[test]
+    fn delay_is_linear_in_load() {
+        let lib = Library::nangate45_like();
+        let cell = lib.cell(lib.find(CellFunction::Inv, DriveStrength::X1).unwrap());
+        let d0 = cell.delay_ps(0.0);
+        let d1 = cell.delay_ps(1.0);
+        let d2 = cell.delay_ps(2.0);
+        assert!((d2 - d1 - (d1 - d0)).abs() < 1e-12);
+        assert_eq!(d0, cell.intrinsic_ps);
+    }
+
+    #[test]
+    fn aged_delay_scales_with_factor() {
+        let lib = Library::nangate45_like();
+        let cell = lib.cell(lib.find(CellFunction::Nand2, DriveStrength::X1).unwrap());
+        let fresh = cell.delay_ps(2.0);
+        let aged = cell.aged_delay_ps(2.0, 1.16);
+        assert!(aged > fresh);
+        assert!(aged <= fresh * 1.16 * 1.2, "sensitivity stays bounded");
+        assert_eq!(cell.aged_delay_ps(2.0, 1.0), fresh);
+    }
+
+    #[test]
+    fn negative_load_clamps_to_zero() {
+        let lib = Library::nangate45_like();
+        let cell = lib.cell(lib.find(CellFunction::Inv, DriveStrength::X1).unwrap());
+        assert_eq!(cell.delay_ps(-5.0), cell.intrinsic_ps);
+    }
+
+    #[test]
+    fn switching_energy_positive() {
+        let lib = Library::nangate45_like();
+        for cell in lib.cells() {
+            assert!(cell.switching_energy_fj(1.1) > 0.0, "{}", cell.name);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Logic functions implemented by the cell set, with bit-level evaluation.
+
+use std::fmt;
+
+/// Maximum number of input pins of any cell function.
+pub const MAX_INPUTS: usize = 3;
+/// Maximum number of output pins of any cell function.
+pub const MAX_OUTPUTS: usize = 2;
+
+/// The boolean function computed by a standard cell.
+///
+/// The set mirrors the combinational portion of a NanGate-style 45 nm
+/// library, including the compound cells (`AOI21`, `OAI21`), a 2:1 mux and
+/// the arithmetic helper cells (`HalfAdder`, `FullAdder`) that synthesis
+/// maps adder/multiplier structures onto.
+///
+/// # Examples
+///
+/// ```
+/// use aix_cells::CellFunction;
+///
+/// let mut out = [false; 2];
+/// CellFunction::FullAdder.eval(&[true, true, false], &mut out);
+/// assert_eq!(out, [false, true]); // sum = 0, carry = 1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CellFunction {
+    /// Inverter: `y = !a`.
+    Inv,
+    /// Buffer: `y = a`.
+    Buf,
+    /// 2-input NAND: `y = !(a & b)`.
+    Nand2,
+    /// 3-input NAND: `y = !(a & b & c)`.
+    Nand3,
+    /// 2-input NOR: `y = !(a | b)`.
+    Nor2,
+    /// 3-input NOR: `y = !(a | b | c)`.
+    Nor3,
+    /// 2-input AND: `y = a & b`.
+    And2,
+    /// 2-input OR: `y = a | b`.
+    Or2,
+    /// 2-input XOR: `y = a ^ b`.
+    Xor2,
+    /// 2-input XNOR: `y = !(a ^ b)`.
+    Xnor2,
+    /// AND-OR-invert: `y = !((a & b) | c)`.
+    Aoi21,
+    /// OR-AND-invert: `y = !((a | b) & c)`.
+    Oai21,
+    /// 2:1 multiplexer: `y = s ? b : a` with pin order `(a, b, s)`.
+    Mux2,
+    /// Half adder, outputs `(sum, carry) = (a ^ b, a & b)`.
+    HalfAdder,
+    /// Full adder, outputs `(sum, carry)` of `a + b + cin`.
+    FullAdder,
+    /// D flip-flop. Sequential; present for completeness of the library and
+    /// the power model, never part of the combinational netlists this
+    /// workspace analyzes.
+    Dff,
+}
+
+impl CellFunction {
+    /// All functions in the library, in a stable order.
+    pub const ALL: [CellFunction; 16] = [
+        CellFunction::Inv,
+        CellFunction::Buf,
+        CellFunction::Nand2,
+        CellFunction::Nand3,
+        CellFunction::Nor2,
+        CellFunction::Nor3,
+        CellFunction::And2,
+        CellFunction::Or2,
+        CellFunction::Xor2,
+        CellFunction::Xnor2,
+        CellFunction::Aoi21,
+        CellFunction::Oai21,
+        CellFunction::Mux2,
+        CellFunction::HalfAdder,
+        CellFunction::FullAdder,
+        CellFunction::Dff,
+    ];
+
+    /// Number of input pins.
+    pub fn input_count(self) -> usize {
+        match self {
+            CellFunction::Inv | CellFunction::Buf | CellFunction::Dff => 1,
+            CellFunction::Nand2
+            | CellFunction::Nor2
+            | CellFunction::And2
+            | CellFunction::Or2
+            | CellFunction::Xor2
+            | CellFunction::Xnor2
+            | CellFunction::HalfAdder => 2,
+            CellFunction::Nand3
+            | CellFunction::Nor3
+            | CellFunction::Aoi21
+            | CellFunction::Oai21
+            | CellFunction::Mux2
+            | CellFunction::FullAdder => 3,
+        }
+    }
+
+    /// Number of output pins.
+    pub fn output_count(self) -> usize {
+        match self {
+            CellFunction::HalfAdder | CellFunction::FullAdder => 2,
+            _ => 1,
+        }
+    }
+
+    /// Whether the cell holds state (only the D flip-flop does).
+    pub fn is_sequential(self) -> bool {
+        matches!(self, CellFunction::Dff)
+    }
+
+    /// Evaluates the function on `inputs`, writing to `outputs`.
+    ///
+    /// For [`CellFunction::Dff`] this models the transparent data path
+    /// (`q = d`), which is what a combinational evaluation of a registered
+    /// boundary needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` or `outputs` are shorter than
+    /// [`input_count`](Self::input_count) /
+    /// [`output_count`](Self::output_count).
+    pub fn eval(self, inputs: &[bool], outputs: &mut [bool]) {
+        assert!(inputs.len() >= self.input_count(), "too few inputs for {self}");
+        assert!(
+            outputs.len() >= self.output_count(),
+            "too few outputs for {self}"
+        );
+        match self {
+            CellFunction::Inv => outputs[0] = !inputs[0],
+            CellFunction::Buf | CellFunction::Dff => outputs[0] = inputs[0],
+            CellFunction::Nand2 => outputs[0] = !(inputs[0] & inputs[1]),
+            CellFunction::Nand3 => outputs[0] = !(inputs[0] & inputs[1] & inputs[2]),
+            CellFunction::Nor2 => outputs[0] = !(inputs[0] | inputs[1]),
+            CellFunction::Nor3 => outputs[0] = !(inputs[0] | inputs[1] | inputs[2]),
+            CellFunction::And2 => outputs[0] = inputs[0] & inputs[1],
+            CellFunction::Or2 => outputs[0] = inputs[0] | inputs[1],
+            CellFunction::Xor2 => outputs[0] = inputs[0] ^ inputs[1],
+            CellFunction::Xnor2 => outputs[0] = !(inputs[0] ^ inputs[1]),
+            CellFunction::Aoi21 => outputs[0] = !((inputs[0] & inputs[1]) | inputs[2]),
+            CellFunction::Oai21 => outputs[0] = !((inputs[0] | inputs[1]) & inputs[2]),
+            CellFunction::Mux2 => outputs[0] = if inputs[2] { inputs[1] } else { inputs[0] },
+            CellFunction::HalfAdder => {
+                outputs[0] = inputs[0] ^ inputs[1];
+                outputs[1] = inputs[0] & inputs[1];
+            }
+            CellFunction::FullAdder => {
+                let (a, b, c) = (inputs[0], inputs[1], inputs[2]);
+                outputs[0] = a ^ b ^ c;
+                outputs[1] = (a & b) | (c & (a ^ b));
+            }
+        }
+    }
+
+    /// The library naming stem, e.g. `NAND2` for [`CellFunction::Nand2`].
+    pub fn stem(self) -> &'static str {
+        match self {
+            CellFunction::Inv => "INV",
+            CellFunction::Buf => "BUF",
+            CellFunction::Nand2 => "NAND2",
+            CellFunction::Nand3 => "NAND3",
+            CellFunction::Nor2 => "NOR2",
+            CellFunction::Nor3 => "NOR3",
+            CellFunction::And2 => "AND2",
+            CellFunction::Or2 => "OR2",
+            CellFunction::Xor2 => "XOR2",
+            CellFunction::Xnor2 => "XNOR2",
+            CellFunction::Aoi21 => "AOI21",
+            CellFunction::Oai21 => "OAI21",
+            CellFunction::Mux2 => "MUX2",
+            CellFunction::HalfAdder => "HA",
+            CellFunction::FullAdder => "FA",
+            CellFunction::Dff => "DFF",
+        }
+    }
+}
+
+impl fmt::Display for CellFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.stem())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval1(f: CellFunction, inputs: &[bool]) -> bool {
+        let mut out = [false; MAX_OUTPUTS];
+        f.eval(inputs, &mut out);
+        out[0]
+    }
+
+    #[test]
+    fn basic_gates_truth_tables() {
+        assert!(eval1(CellFunction::Inv, &[false]));
+        assert!(!eval1(CellFunction::Inv, &[true]));
+        assert!(eval1(CellFunction::Nand2, &[true, false]));
+        assert!(!eval1(CellFunction::Nand2, &[true, true]));
+        assert!(eval1(CellFunction::Nor2, &[false, false]));
+        assert!(!eval1(CellFunction::Nor2, &[true, false]));
+        assert!(eval1(CellFunction::Xor2, &[true, false]));
+        assert!(!eval1(CellFunction::Xor2, &[true, true]));
+        assert!(eval1(CellFunction::Xnor2, &[true, true]));
+    }
+
+    #[test]
+    fn compound_gates() {
+        // AOI21: !((a&b)|c)
+        assert!(!eval1(CellFunction::Aoi21, &[true, true, false]));
+        assert!(!eval1(CellFunction::Aoi21, &[false, false, true]));
+        assert!(eval1(CellFunction::Aoi21, &[true, false, false]));
+        // OAI21: !((a|b)&c)
+        assert!(!eval1(CellFunction::Oai21, &[true, false, true]));
+        assert!(eval1(CellFunction::Oai21, &[false, false, true]));
+        assert!(eval1(CellFunction::Oai21, &[true, true, false]));
+    }
+
+    #[test]
+    fn mux_selects() {
+        assert!(!eval1(CellFunction::Mux2, &[false, true, false]));
+        assert!(eval1(CellFunction::Mux2, &[false, true, true]));
+    }
+
+    #[test]
+    fn full_adder_all_combinations() {
+        for bits in 0u8..8 {
+            let a = bits & 1 != 0;
+            let b = bits & 2 != 0;
+            let c = bits & 4 != 0;
+            let mut out = [false; 2];
+            CellFunction::FullAdder.eval(&[a, b, c], &mut out);
+            let total = u8::from(a) + u8::from(b) + u8::from(c);
+            assert_eq!(out[0], total & 1 != 0, "sum for {bits:03b}");
+            assert_eq!(out[1], total >= 2, "carry for {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn half_adder_all_combinations() {
+        for bits in 0u8..4 {
+            let a = bits & 1 != 0;
+            let b = bits & 2 != 0;
+            let mut out = [false; 2];
+            CellFunction::HalfAdder.eval(&[a, b], &mut out);
+            assert_eq!(out[0], a ^ b);
+            assert_eq!(out[1], a & b);
+        }
+    }
+
+    #[test]
+    fn pin_counts_within_bounds() {
+        for f in CellFunction::ALL {
+            assert!(f.input_count() <= MAX_INPUTS);
+            assert!(f.output_count() <= MAX_OUTPUTS);
+            assert!(f.input_count() >= 1 && f.output_count() >= 1);
+        }
+    }
+
+    #[test]
+    fn only_dff_is_sequential() {
+        for f in CellFunction::ALL {
+            assert_eq!(f.is_sequential(), f == CellFunction::Dff);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too few inputs")]
+    fn eval_checks_arity() {
+        let mut out = [false; 2];
+        CellFunction::FullAdder.eval(&[true], &mut out);
+    }
+}

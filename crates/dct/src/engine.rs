@@ -1,0 +1,155 @@
+//! Shared row–column transform engine, generic over the MAC implementation.
+//!
+//! Both the bit-accurate RTL model ([`crate::FixedPointTransform`]) and the
+//! gate-level timed pipeline ([`crate::GateLevelPipeline`]) execute the
+//! same 64-MAC-per-1-D-transform schedule; only the multiply-accumulate
+//! step differs (pure arithmetic vs event-driven netlist simulation).
+
+use crate::{dct_coefficient, idct_coefficient, COEFF_FRACTION_BITS};
+
+/// Fractional *guard bits* of the datapath: operands are left-shifted by
+/// this amount before entering the MAC, so the first `OPERAND_SHIFT`
+/// truncated LSBs only consume fixed-point headroom. This is the
+/// left-aligned operand convention of wide datapaths — it is why a 32-bit
+/// hardware multiplier can lose a few LSBs with only mild quality impact,
+/// as the paper's 3-bit headline configuration shows.
+pub const OPERAND_SHIFT: u32 = 6;
+
+/// Total fractional bits accumulated over one 1-D pass
+/// (Q12 coefficients plus both operand guard shifts).
+const PASS_FRACTION_BITS: u32 = COEFF_FRACTION_BITS + 2 * OPERAND_SHIFT;
+
+/// A multiply-accumulate step: `mac(acc, coeff, sample) = acc + coeff × sample`
+/// under whatever precision/timing model the implementor provides.
+pub(crate) trait MacUnit {
+    fn mac(&mut self, acc: i64, coeff: i64, sample: i64) -> i64;
+}
+
+impl<F: FnMut(i64, i64, i64) -> i64> MacUnit for F {
+    fn mac(&mut self, acc: i64, coeff: i64, sample: i64) -> i64 {
+        self(acc, coeff, sample)
+    }
+}
+
+/// Arithmetic shift with round-to-nearest.
+pub(crate) fn round_shift(value: i64, bits: u32) -> i64 {
+    (value + (1 << (bits - 1))) >> bits
+}
+
+/// 1-D 8-point forward DCT (Q0 in, Q0 out).
+pub(crate) fn forward8(mac: &mut impl MacUnit, input: &[i64; 8]) -> [i64; 8] {
+    let mut out = [0i64; 8];
+    for (u, slot) in out.iter_mut().enumerate() {
+        let mut acc = 0i64;
+        for (x, &sample) in input.iter().enumerate() {
+            acc = mac.mac(
+                acc,
+                i64::from(dct_coefficient(u, x)) << OPERAND_SHIFT,
+                sample << OPERAND_SHIFT,
+            );
+        }
+        *slot = round_shift(acc, PASS_FRACTION_BITS);
+    }
+    out
+}
+
+/// 1-D 8-point inverse DCT (Q0 in, Q0 out).
+pub(crate) fn inverse8(mac: &mut impl MacUnit, input: &[i64; 8]) -> [i64; 8] {
+    let mut out = [0i64; 8];
+    for (x, slot) in out.iter_mut().enumerate() {
+        let mut acc = 0i64;
+        for (u, &coeff_in) in input.iter().enumerate() {
+            acc = mac.mac(
+                acc,
+                i64::from(idct_coefficient(x, u)) << OPERAND_SHIFT,
+                coeff_in << OPERAND_SHIFT,
+            );
+        }
+        *slot = round_shift(acc, PASS_FRACTION_BITS);
+    }
+    out
+}
+
+/// Row–column application of the 1-D transform over an 8×8 block.
+pub(crate) fn two_d(mac: &mut impl MacUnit, block: &mut [i64; 64], forward: bool) {
+    for row in 0..8 {
+        let mut line = [0i64; 8];
+        line.copy_from_slice(&block[row * 8..row * 8 + 8]);
+        let t = if forward {
+            forward8(mac, &line)
+        } else {
+            inverse8(mac, &line)
+        };
+        block[row * 8..row * 8 + 8].copy_from_slice(&t);
+    }
+    for col in 0..8 {
+        let mut line = [0i64; 8];
+        for row in 0..8 {
+            line[row] = block[row * 8 + col];
+        }
+        let t = if forward {
+            forward8(mac, &line)
+        } else {
+            inverse8(mac, &line)
+        };
+        for row in 0..8 {
+            block[row * 8 + col] = t[row];
+        }
+    }
+}
+
+/// 2-D forward DCT of one pixel block (level-shifted by −128).
+pub(crate) fn forward_block(mac: &mut impl MacUnit, block: &[u8; 64]) -> [i32; 64] {
+    let mut work = [0i64; 64];
+    for (slot, &p) in work.iter_mut().zip(block) {
+        *slot = i64::from(p) - 128;
+    }
+    two_d(mac, &mut work, true);
+    let mut out = [0i32; 64];
+    for (slot, &v) in out.iter_mut().zip(&work) {
+        *slot = v as i32;
+    }
+    out
+}
+
+/// 2-D inverse DCT of one coefficient block back to clamped pixels.
+pub(crate) fn inverse_block(mac: &mut impl MacUnit, coeffs: &[i32; 64]) -> [u8; 64] {
+    let mut work = [0i64; 64];
+    for (slot, &c) in work.iter_mut().zip(coeffs) {
+        *slot = i64::from(c);
+    }
+    two_d(mac, &mut work, false);
+    let mut out = [0u8; 64];
+    for (slot, &v) in out.iter_mut().zip(&work) {
+        *slot = (v + 128).clamp(0, 255) as u8;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generic_engine_with_exact_closure_roundtrips() {
+        let mut exact = |acc: i64, c: i64, s: i64| acc + c * s;
+        let mut block = [0u8; 64];
+        for (i, slot) in block.iter_mut().enumerate() {
+            *slot = ((i * 41 + 3) % 256) as u8;
+        }
+        let coeffs = forward_block(&mut exact, &block);
+        let back = inverse_block(&mut exact, &coeffs);
+        for (&a, &b) in block.iter().zip(&back) {
+            assert!((i32::from(a) - i32::from(b)).abs() <= 2);
+        }
+    }
+
+    #[test]
+    fn round_shift_rounds_to_nearest() {
+        assert_eq!(round_shift(4096, COEFF_FRACTION_BITS), 1);
+        assert_eq!(round_shift(2048, COEFF_FRACTION_BITS), 1);
+        assert_eq!(round_shift(2047, COEFF_FRACTION_BITS), 0);
+        assert_eq!(round_shift(-2048, COEFF_FRACTION_BITS), 0);
+        assert_eq!(round_shift(-2049, COEFF_FRACTION_BITS), -1);
+    }
+}

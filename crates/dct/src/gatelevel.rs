@@ -1,0 +1,385 @@
+//! Gate-level timed execution of the DCT/IDCT datapath.
+//!
+//! Every multiply-accumulate of the transform schedule runs on a
+//! synthesized 32-bit MAC netlist through the event-driven timed simulator,
+//! clocked at the *fresh* maximum frequency while the gates carry *aged*
+//! delays — the exact setup of the paper's motivational study (Fig. 2):
+//! naive guardband removal turns aging into nondeterministic timing errors
+//! that corrupt the image.
+
+use crate::{engine, CoefficientImage, Quantizer};
+use aix_aging::{AgingModel, AgingScenario};
+use aix_arith::{add_into, multiply_into, AdderKind, MultiplierKind};
+use aix_cells::Library;
+use aix_image::Image;
+use aix_netlist::{bus_from_u64, bus_to_u64, Netlist, NetlistError};
+use aix_sim::TimedSimulator;
+use aix_sta::{analyze, ClockConstraint, NetDelays};
+use aix_synth::{optimize, recover_area, size_for_performance};
+use std::sync::Arc;
+
+/// Datapath operand width in bits.
+const WIDTH: usize = 32;
+/// Accumulator/output width in bits: wide enough for the guard-shifted
+/// products of the transform engine (|coeff·2⁶ × sample·2⁶| < 2⁴¹) plus
+/// accumulation headroom.
+const ACC_WIDTH: usize = 48;
+
+/// Configuration of a gate-level pipeline run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateLevelConfig {
+    /// Aging condition applied to every gate delay.
+    pub scenario: AgingScenario,
+    /// LSBs truncated from the MAC's multiplier operands (the netlist is
+    /// re-synthesized accordingly, shortening its critical path).
+    pub multiplier_truncation: u32,
+    /// Explicit clock period override in ps; `None` clocks at the fresh
+    /// full-precision critical path (zero guardband).
+    pub clock_ps: Option<f64>,
+}
+
+impl GateLevelConfig {
+    /// Fresh circuit, exact datapath, zero-guardband clock.
+    pub fn fresh() -> Self {
+        Self {
+            scenario: AgingScenario::Fresh,
+            multiplier_truncation: 0,
+            clock_ps: None,
+        }
+    }
+
+    /// Aged circuit at the fresh clock (the naive guardband removal of the
+    /// motivational study).
+    pub fn aged(scenario: AgingScenario) -> Self {
+        Self {
+            scenario,
+            multiplier_truncation: 0,
+            clock_ps: None,
+        }
+    }
+}
+
+/// Statistics of a gate-level run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GateLevelStats {
+    /// MAC operations executed.
+    pub mac_ops: u64,
+    /// MAC operations whose sampled output differed from the settled one.
+    pub timing_errors: u64,
+}
+
+impl GateLevelStats {
+    /// Fraction of MAC operations that latched a wrong value.
+    pub fn error_rate(&self) -> f64 {
+        if self.mac_ops == 0 {
+            0.0
+        } else {
+            self.timing_errors as f64 / self.mac_ops as f64
+        }
+    }
+}
+
+/// A DCT/IDCT image pipeline whose every MAC executes on a timed gate-level
+/// netlist.
+///
+/// # Examples
+///
+/// ```no_run
+/// use aix_dct::{encode_image, FixedPointTransform, GateLevelConfig, GateLevelPipeline};
+/// use aix_aging::{AgingScenario, Lifetime};
+/// use aix_cells::Library;
+/// use aix_image::Sequence;
+/// use std::sync::Arc;
+///
+/// let lib = Arc::new(Library::nangate45_like());
+/// let frame = Sequence::Akiyo.frame(64, 48, 0);
+/// let coeffs = encode_image(&frame, &FixedPointTransform::exact());
+/// let aged = GateLevelPipeline::new(
+///     &lib,
+///     GateLevelConfig::aged(AgingScenario::balanced(Lifetime::YEARS_10)),
+/// )?;
+/// let (decoded, stats) = aged.decode_image(&coeffs)?;
+/// println!("{} MAC timing errors", stats.timing_errors);
+/// # let _ = decoded;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct GateLevelPipeline {
+    netlist: Netlist,
+    delays: NetDelays,
+    clock_ps: f64,
+    fresh_cp_ps: f64,
+}
+
+impl GateLevelPipeline {
+    /// Synthesizes the 32-bit MAC datapath and prepares aged delays.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist construction/STA errors; never fails for the
+    /// built-in library.
+    pub fn new(library: &Arc<Library>, config: GateLevelConfig) -> Result<Self, NetlistError> {
+        let netlist = build_mac_netlist(library, config.multiplier_truncation)?;
+        let model = AgingModel::calibrated();
+        // The clock is fixed at design time from the *full-precision*
+        // fresh netlist — the timing constraint the design must keep
+        // meeting over its whole lifetime.
+        let reference = if config.multiplier_truncation == 0 {
+            netlist.clone()
+        } else {
+            build_mac_netlist(library, 0)?
+        };
+        let fresh_cp_ps = analyze(&reference, &NetDelays::fresh(&reference))?.max_delay_ps();
+        let clock_ps = config.clock_ps.unwrap_or(fresh_cp_ps);
+        let delays = NetDelays::aged(&netlist, &model, config.scenario);
+        Ok(Self {
+            netlist,
+            delays,
+            clock_ps,
+            fresh_cp_ps,
+        })
+    }
+
+    /// The clock period in picoseconds the pipeline samples at.
+    pub fn clock(&self) -> ClockConstraint {
+        ClockConstraint::from_period_ps(self.clock_ps)
+    }
+
+    /// Fresh critical-path delay of the full-precision MAC, in ps.
+    pub fn fresh_critical_path_ps(&self) -> f64 {
+        self.fresh_cp_ps
+    }
+
+    /// The synthesized MAC netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Decodes a coefficient image through the timed gate-level IDCT.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors; never fails for pipelines built by
+    /// [`GateLevelPipeline::new`].
+    pub fn decode_image(
+        &self,
+        coefficients: &CoefficientImage,
+    ) -> Result<(Image, GateLevelStats), NetlistError> {
+        let mut sim = TimedSimulator::new(&self.netlist, &self.delays)?;
+        let mut stats = GateLevelStats::default();
+        let (width, height) = coefficients.dimensions();
+        let mut image = Image::filled(width, height, 0);
+        let blocks_per_row = width.div_ceil(8);
+        {
+            let mut mac = self.mac_closure(&mut sim, &mut stats);
+            for (index, block) in coefficients.blocks().iter().enumerate() {
+                let pixels = engine::inverse_block(&mut mac, block);
+                image.set_block8(index % blocks_per_row, index / blocks_per_row, &pixels);
+            }
+        }
+        Ok((image, stats))
+    }
+
+    /// Encodes and then decodes `image` entirely at gate level (both the
+    /// DCT and the IDCT age), optionally passing each block through a
+    /// codec quantizer between the transforms, and returns the
+    /// reconstruction and statistics — the full Fig. 2 setup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn roundtrip_image(
+        &self,
+        image: &Image,
+        quantizer: Option<&Quantizer>,
+    ) -> Result<(Image, GateLevelStats), NetlistError> {
+        let mut sim = TimedSimulator::new(&self.netlist, &self.delays)?;
+        let mut stats = GateLevelStats::default();
+        let (bw, bh) = image.block_counts();
+        let mut out = Image::filled(image.width(), image.height(), 0);
+        {
+            let mut mac = self.mac_closure(&mut sim, &mut stats);
+            for by in 0..bh {
+                for bx in 0..bw {
+                    let mut coeffs = engine::forward_block(&mut mac, &image.block8(bx, by));
+                    if let Some(q) = quantizer {
+                        q.apply(&mut coeffs);
+                    }
+                    let pixels = engine::inverse_block(&mut mac, &coeffs);
+                    out.set_block8(bx, by, &pixels);
+                }
+            }
+        }
+        Ok((out, stats))
+    }
+
+    /// Builds the MAC closure driving the timed simulator.
+    fn mac_closure<'a, 'nl: 'a>(
+        &'a self,
+        sim: &'a mut TimedSimulator<'nl>,
+        stats: &'a mut GateLevelStats,
+    ) -> impl FnMut(i64, i64, i64) -> i64 + use<'a, 'nl> {
+        let clock = self.clock_ps;
+        move |acc, coeff, sample| {
+            let mut inputs = bus_from_u64(to_operand(coeff), WIDTH);
+            inputs.extend(bus_from_u64(to_operand(sample), WIDTH));
+            inputs.extend(bus_from_u64(to_acc(acc), ACC_WIDTH));
+            let outcome = sim
+                .step(&inputs, clock)
+                .expect("input width matches the synthesized MAC");
+            stats.mac_ops += 1;
+            if outcome.timing_error {
+                stats.timing_errors += 1;
+            }
+            from_bus(bus_to_u64(&outcome.sampled))
+        }
+    }
+}
+
+/// Two's-complement embedding of an `i64` into the 32-bit operand bus.
+fn to_operand(value: i64) -> u64 {
+    (value as u64) & 0xFFFF_FFFF
+}
+
+/// Two's-complement embedding of an `i64` into the 48-bit accumulator bus.
+fn to_acc(value: i64) -> u64 {
+    (value as u64) & 0xFFFF_FFFF_FFFF
+}
+
+/// Sign extension back from the 48-bit accumulator bus.
+fn from_bus(raw: u64) -> i64 {
+    let masked = raw & 0xFFFF_FFFF_FFFF;
+    if masked & (1 << 47) != 0 {
+        (masked | !0xFFFF_FFFF_FFFF) as i64
+    } else {
+        masked as i64
+    }
+}
+
+/// Synthesizes the 32-bit MAC: Wallace multiplier core, carry-select
+/// accumulate, output truncated to the low 32 bits (the datapath wraps at
+/// the register width), then cleanup, timing-driven sizing and area
+/// recovery — the "ultra compile" treatment.
+fn build_mac_netlist(library: &Arc<Library>, mult_truncation: u32) -> Result<Netlist, NetlistError> {
+    let mut nl = Netlist::new(
+        format!("idct_mac_t{mult_truncation}"),
+        Arc::clone(library),
+    );
+    let a = nl.add_input_bus("a", WIDTH);
+    let b = nl.add_input_bus("b", WIDTH);
+    let acc = nl.add_input_bus("acc", ACC_WIDTH);
+    let zero = nl.constant(false);
+    let mask = |nl: &mut Netlist, bus: &[aix_netlist::NetId]| -> Vec<aix_netlist::NetId> {
+        let z = nl.constant(false);
+        bus.iter()
+            .enumerate()
+            .map(|(i, &net)| if (i as u32) < mult_truncation { z } else { net })
+            .collect()
+    };
+    let at = mask(&mut nl, &a);
+    let bt = mask(&mut nl, &b);
+    // Sign-extend the two's-complement operands to the accumulator width by
+    // replicating the sign net (costs wiring, not gates), so the low
+    // ACC_WIDTH product bits equal the signed product modulo 2^ACC_WIDTH.
+    let extend = |bus: &[aix_netlist::NetId]| -> Vec<aix_netlist::NetId> {
+        let mut wide = bus.to_vec();
+        let sign = *bus.last().expect("non-empty operand bus");
+        wide.extend(std::iter::repeat(sign).take(ACC_WIDTH - WIDTH));
+        wide
+    };
+    let product = multiply_into(&mut nl, MultiplierKind::Wallace, &extend(&at), &extend(&bt))?;
+    let _ = zero;
+    let (sum, _overflow) =
+        add_into(&mut nl, AdderKind::CarrySelect, &product[..ACC_WIDTH], &acc, None)?;
+    for (i, &net) in sum.iter().take(ACC_WIDTH).enumerate() {
+        nl.mark_output(format!("out[{i}]"), net);
+    }
+    let mut optimized = optimize(&nl)?;
+    let sized = size_for_performance(&mut optimized, NetDelays::fresh, 400)?;
+    recover_area(&mut optimized, NetDelays::fresh, sized.final_delay_ps, 25)?;
+    optimized.validate()?;
+    Ok(optimized)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{encode_image, roundtrip_psnr, FixedPointTransform};
+    use aix_aging::Lifetime;
+    use aix_image::{psnr, Sequence};
+
+    fn library() -> Arc<Library> {
+        Arc::new(Library::nangate45_like())
+    }
+
+    #[test]
+    fn bus_embedding_roundtrips() {
+        for v in [-4_000_000_000i64, -2_000_000, -1, 0, 1, 2_000_000, 1 << 42] {
+            assert_eq!(from_bus(to_acc(v)), v);
+        }
+    }
+
+    #[test]
+    fn mac_netlist_computes_wrapped_mac() {
+        let lib = library();
+        let nl = build_mac_netlist(&lib, 0).unwrap();
+        for (a, b, acc) in [
+            (3i64, 5i64, 7i64),
+            (-4, 100, -50),
+            (4096, -4096, 123_456),
+            (-1, -1, 0),
+            (131_072, 120_000, -4_000_000_000),
+        ] {
+            let mut inputs = bus_from_u64(to_operand(a), WIDTH);
+            inputs.extend(bus_from_u64(to_operand(b), WIDTH));
+            inputs.extend(bus_from_u64(to_acc(acc), ACC_WIDTH));
+            let out = nl.eval(&inputs).unwrap();
+            let got = from_bus(bus_to_u64(&out));
+            let expect = from_bus(to_acc(a.wrapping_mul(b).wrapping_add(acc)));
+            assert_eq!(got, expect, "{a}*{b}+{acc}");
+        }
+    }
+
+    #[test]
+    fn fresh_pipeline_matches_rtl_model() {
+        let lib = library();
+        let frame = Sequence::Akiyo.frame(24, 16, 0);
+        let exact = FixedPointTransform::exact();
+        let coeffs = encode_image(&frame, &exact);
+        let pipeline = GateLevelPipeline::new(&lib, GateLevelConfig::fresh()).unwrap();
+        let (decoded, stats) = pipeline.decode_image(&coeffs).unwrap();
+        assert_eq!(stats.timing_errors, 0, "fresh circuit at its own clock");
+        let rtl = crate::decode_image(&coeffs, &exact);
+        assert_eq!(decoded, rtl, "gate level must be bit-identical to RTL");
+        assert!(stats.mac_ops > 0);
+    }
+
+    #[test]
+    fn aged_pipeline_corrupts_images() {
+        let lib = library();
+        let frame = Sequence::Foreman.frame(24, 16, 0);
+        let exact = FixedPointTransform::exact();
+        let coeffs = encode_image(&frame, &exact);
+        let clean = roundtrip_psnr(&frame, &exact, &exact);
+        let aged = GateLevelPipeline::new(
+            &lib,
+            GateLevelConfig::aged(AgingScenario::worst_case(Lifetime::YEARS_10)),
+        )
+        .unwrap();
+        let (decoded, stats) = aged.decode_image(&coeffs).unwrap();
+        assert!(stats.timing_errors > 0, "10-year worst-case must err");
+        let q = psnr(&frame, &decoded);
+        assert!(q < clean - 5.0, "quality must collapse: {q} vs {clean}");
+    }
+
+    #[test]
+    fn truncated_netlist_is_faster() {
+        let lib = library();
+        let full = build_mac_netlist(&lib, 0).unwrap();
+        let cut = build_mac_netlist(&lib, 6).unwrap();
+        let d_full = analyze(&full, &NetDelays::fresh(&full)).unwrap().max_delay_ps();
+        let d_cut = analyze(&cut, &NetDelays::fresh(&cut)).unwrap().max_delay_ps();
+        assert!(d_cut < d_full, "{d_cut} vs {d_full}");
+        assert!(cut.stats().area_um2 < full.stats().area_um2);
+    }
+}

@@ -1,0 +1,145 @@
+//! Per-component datapath precision configuration.
+
+use std::fmt;
+
+/// How many least-significant bits each datapath component truncates —
+/// the output of the paper's microarchitecture-level flow (Fig. 6), where
+/// every RTL component receives its own precision reduction (or none).
+///
+/// # Examples
+///
+/// ```
+/// use aix_dct::DatapathPrecision;
+///
+/// let exact = DatapathPrecision::exact();
+/// assert!(exact.is_exact());
+/// // The paper's headline configuration: 3 bits off the IDCT multiplier.
+/// let paper = DatapathPrecision::new(3, 0);
+/// assert_eq!(paper.multiplier_truncation, 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct DatapathPrecision {
+    /// LSBs truncated from both multiplier operands.
+    pub multiplier_truncation: u32,
+    /// LSBs truncated from both accumulator-adder operands.
+    pub adder_truncation: u32,
+}
+
+impl DatapathPrecision {
+    /// Full precision: no truncation anywhere.
+    pub fn exact() -> Self {
+        Self::default()
+    }
+
+    /// Explicit truncation per component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either truncation is 32 bits or more — the datapath is
+    /// 32 bits wide.
+    pub fn new(multiplier_truncation: u32, adder_truncation: u32) -> Self {
+        assert!(
+            multiplier_truncation < 32 && adder_truncation < 32,
+            "truncation must leave at least one bit of a 32-bit datapath"
+        );
+        Self {
+            multiplier_truncation,
+            adder_truncation,
+        }
+    }
+
+    /// Whether any truncation is configured.
+    pub fn is_exact(&self) -> bool {
+        self.multiplier_truncation == 0 && self.adder_truncation == 0
+    }
+
+    /// Masks the low `bits` of a two's-complement value.
+    fn mask(value: i64, bits: u32) -> i64 {
+        if bits == 0 {
+            value
+        } else {
+            value & !((1i64 << bits) - 1)
+        }
+    }
+
+    /// Applies the multiplier-operand truncation to `value`.
+    pub fn truncate_multiplier_operand(&self, value: i64) -> i64 {
+        Self::mask(value, self.multiplier_truncation)
+    }
+
+    /// Applies the adder-operand truncation to `value`.
+    pub fn truncate_adder_operand(&self, value: i64) -> i64 {
+        Self::mask(value, self.adder_truncation)
+    }
+
+    /// Worst-case absolute error of one truncated multiply-accumulate step
+    /// with operand magnitudes bounded by `operand_bound`, establishing the
+    /// deterministic error bound that distinguishes approximation from
+    /// uncontrolled timing errors.
+    pub fn mac_error_bound(&self, operand_bound: i64) -> i64 {
+        let m = (1i64 << self.multiplier_truncation) - 1;
+        let a = (1i64 << self.adder_truncation) - 1;
+        // (a+e1)(b+e2) − ab ≤ |a|e2 + |b|e1 + e1e2, plus two adder operands.
+        2 * operand_bound * m + m * m + 2 * a
+    }
+}
+
+impl fmt::Display for DatapathPrecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_exact() {
+            write!(f, "exact")
+        } else {
+            write!(
+                f,
+                "mult-{}lsb/add-{}lsb",
+                self.multiplier_truncation, self.adder_truncation
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_works_on_negatives() {
+        let p = DatapathPrecision::new(4, 2);
+        assert_eq!(p.truncate_multiplier_operand(0b1_0111), 0b1_0000);
+        assert_eq!(p.truncate_multiplier_operand(-1), -16);
+        assert_eq!(p.truncate_adder_operand(-1), -4);
+        assert_eq!(p.truncate_adder_operand(7), 4);
+    }
+
+    #[test]
+    fn exact_is_identity() {
+        let p = DatapathPrecision::exact();
+        for v in [-1000i64, -1, 0, 1, 12345] {
+            assert_eq!(p.truncate_multiplier_operand(v), v);
+            assert_eq!(p.truncate_adder_operand(v), v);
+        }
+    }
+
+    #[test]
+    fn truncation_error_is_bounded() {
+        let p = DatapathPrecision::new(3, 0);
+        for v in -100i64..100 {
+            let t = p.truncate_multiplier_operand(v);
+            assert!(t <= v && v - t < 8, "{v} -> {t}");
+        }
+    }
+
+    #[test]
+    fn error_bound_monotone_in_truncation() {
+        let small = DatapathPrecision::new(2, 0).mac_error_bound(1 << 12);
+        let large = DatapathPrecision::new(5, 0).mac_error_bound(1 << 12);
+        assert!(small < large);
+        assert_eq!(DatapathPrecision::exact().mac_error_bound(1 << 12), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn rejects_full_truncation() {
+        let _ = DatapathPrecision::new(32, 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! JPEG-style coefficient quantization — the lossy stage of the image
+//! pipeline the paper evaluates (its fresh DCT–IDCT chain reports ≈45 dB,
+//! i.e. codec quality, not a lossless transform).
+
+use std::fmt;
+
+/// The standard JPEG luminance quantization matrix (Annex K), in the same
+/// raster order as this crate's 8×8 blocks.
+const JPEG_LUMINANCE: [u16; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, //
+    12, 12, 14, 19, 26, 58, 60, 55, //
+    14, 13, 16, 24, 40, 57, 69, 56, //
+    14, 17, 22, 29, 51, 87, 80, 62, //
+    18, 22, 37, 56, 68, 109, 103, 77, //
+    24, 35, 55, 64, 81, 104, 113, 92, //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// A per-coefficient quantizer for 8×8 DCT blocks.
+///
+/// # Examples
+///
+/// ```
+/// use aix_dct::Quantizer;
+///
+/// let q = Quantizer::jpeg_quality(75);
+/// let mut block = [100i32; 64];
+/// q.apply(&mut block);
+/// // Coefficients snap to multiples of their quantization step.
+/// assert_ne!(block, [100i32; 64]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quantizer {
+    steps: [u16; 64],
+    quality: u8,
+}
+
+impl Quantizer {
+    /// The JPEG luminance quantizer at the given quality (1 = coarsest,
+    /// 100 = near-lossless), using the standard IJG scaling formula.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quality` is outside `1..=100`.
+    pub fn jpeg_quality(quality: u8) -> Self {
+        assert!((1..=100).contains(&quality), "quality must be in 1..=100");
+        let scale: i32 = if quality < 50 {
+            5000 / i32::from(quality)
+        } else {
+            200 - 2 * i32::from(quality)
+        };
+        let mut steps = [1u16; 64];
+        for (step, &base) in steps.iter_mut().zip(&JPEG_LUMINANCE) {
+            let scaled = (i32::from(base) * scale + 50) / 100;
+            *step = scaled.clamp(1, 255) as u16;
+        }
+        Self { steps, quality }
+    }
+
+    /// The configured quality factor.
+    pub fn quality(&self) -> u8 {
+        self.quality
+    }
+
+    /// The quantization step of coefficient `index` (raster order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds 63.
+    pub fn step(&self, index: usize) -> u16 {
+        self.steps[index]
+    }
+
+    /// Quantizes a block to integer levels (round to nearest).
+    pub fn quantize(&self, block: &[i32; 64]) -> [i32; 64] {
+        let mut out = [0i32; 64];
+        for ((slot, &coeff), &step) in out.iter_mut().zip(block).zip(&self.steps) {
+            let step = i32::from(step);
+            let half = step / 2;
+            *slot = if coeff >= 0 {
+                (coeff + half) / step
+            } else {
+                -((-coeff + half) / step)
+            };
+        }
+        out
+    }
+
+    /// Reconstructs coefficients from quantized levels.
+    pub fn dequantize(&self, levels: &[i32; 64]) -> [i32; 64] {
+        let mut out = [0i32; 64];
+        for ((slot, &level), &step) in out.iter_mut().zip(levels).zip(&self.steps) {
+            *slot = level * i32::from(step);
+        }
+        out
+    }
+
+    /// Applies the full lossy round trip (quantize then dequantize) in
+    /// place — the codec distortion of the paper's pipeline.
+    pub fn apply(&self, block: &mut [i32; 64]) {
+        *block = self.dequantize(&self.quantize(block));
+    }
+}
+
+impl fmt::Display for Quantizer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "jpeg-q{}", self.quality)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_orders_step_sizes() {
+        let coarse = Quantizer::jpeg_quality(25);
+        let fine = Quantizer::jpeg_quality(90);
+        for i in 0..64 {
+            assert!(coarse.step(i) >= fine.step(i), "coefficient {i}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_step() {
+        let q = Quantizer::jpeg_quality(50);
+        let mut block = [0i32; 64];
+        for (i, slot) in block.iter_mut().enumerate() {
+            *slot = (i as i32 - 32) * 13;
+        }
+        let mut lossy = block;
+        q.apply(&mut lossy);
+        for i in 0..64 {
+            let err = (block[i] - lossy[i]).abs();
+            assert!(
+                err <= (i32::from(q.step(i)) + 1) / 2,
+                "coefficient {i}: error {err} vs step {}",
+                q.step(i)
+            );
+        }
+    }
+
+    #[test]
+    fn negative_values_round_symmetrically() {
+        let q = Quantizer::jpeg_quality(50);
+        let mut pos = [0i32; 64];
+        let mut neg = [0i32; 64];
+        pos[0] = 37;
+        neg[0] = -37;
+        q.apply(&mut pos);
+        q.apply(&mut neg);
+        assert_eq!(pos[0], -neg[0]);
+    }
+
+    #[test]
+    fn apply_is_idempotent() {
+        let q = Quantizer::jpeg_quality(60);
+        let mut block = [0i32; 64];
+        for (i, slot) in block.iter_mut().enumerate() {
+            *slot = (i as i32).pow(2) - 800;
+        }
+        q.apply(&mut block);
+        let once = block;
+        q.apply(&mut block);
+        assert_eq!(once, block);
+    }
+
+    #[test]
+    #[should_panic(expected = "quality")]
+    fn rejects_zero_quality() {
+        let _ = Quantizer::jpeg_quality(0);
+    }
+}

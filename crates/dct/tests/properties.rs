@@ -1,0 +1,82 @@
+//! Property tests of the DCT pipeline's invariants.
+
+use aix_dct::{DatapathPrecision, FixedPointTransform, Quantizer};
+use proptest::prelude::*;
+
+fn arbitrary_block() -> impl Strategy<Value = [u8; 64]> {
+    proptest::array::uniform32(any::<u8>()).prop_flat_map(|lo| {
+        proptest::array::uniform32(any::<u8>()).prop_map(move |hi| {
+            let mut block = [0u8; 64];
+            block[..32].copy_from_slice(&lo);
+            block[32..].copy_from_slice(&hi);
+            block
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The exact transform round trip is near-lossless on any block.
+    #[test]
+    fn exact_roundtrip_error_bounded(block in arbitrary_block()) {
+        let t = FixedPointTransform::exact();
+        let back = t.inverse_block(&t.forward_block(&block));
+        for (&a, &b) in block.iter().zip(&back) {
+            prop_assert!((i32::from(a) - i32::from(b)).abs() <= 2);
+        }
+    }
+
+    /// Energy preservation (Parseval): the coefficient energy of a
+    /// level-shifted block matches its pixel energy within fixed-point
+    /// tolerance.
+    #[test]
+    fn parseval_holds(block in arbitrary_block()) {
+        let t = FixedPointTransform::exact();
+        let coeffs = t.forward_block(&block);
+        let pixel_energy: f64 = block
+            .iter()
+            .map(|&p| (f64::from(p) - 128.0).powi(2))
+            .sum();
+        let coeff_energy: f64 = coeffs.iter().map(|&c| f64::from(c).powi(2)).sum();
+        // Orthonormal basis preserves energy; allow fixed-point slack.
+        let tolerance = 0.02 * pixel_energy + 2000.0;
+        prop_assert!(
+            (pixel_energy - coeff_energy).abs() <= tolerance,
+            "pixels {pixel_energy} vs coefficients {coeff_energy}"
+        );
+    }
+
+    /// More truncation never reduces the reconstruction error.
+    #[test]
+    fn truncation_error_monotone(block in arbitrary_block(), cut in 7u32..=14) {
+        let exact = FixedPointTransform::exact();
+        let coeffs = exact.forward_block(&block);
+        let reference = exact.inverse_block(&coeffs);
+        let err = |truncation: u32| -> u64 {
+            let t = FixedPointTransform::new(DatapathPrecision::new(truncation, 0));
+            t.inverse_block(&coeffs)
+                .iter()
+                .zip(&reference)
+                .map(|(&a, &b)| (i64::from(a) - i64::from(b)).unsigned_abs())
+                .sum()
+        };
+        // Not strictly monotone per-pixel, but a 2-bit step should never
+        // *improve* total error beyond rounding noise.
+        prop_assert!(err(cut + 2) + 64 >= err(cut));
+    }
+
+    /// Quantization error never exceeds half a step per coefficient.
+    #[test]
+    fn quantization_bounded(block in arbitrary_block(), quality in 10u8..=95) {
+        let t = FixedPointTransform::exact();
+        let coeffs = t.forward_block(&block);
+        let q = Quantizer::jpeg_quality(quality);
+        let mut lossy = coeffs;
+        q.apply(&mut lossy);
+        for i in 0..64 {
+            let err = (coeffs[i] - lossy[i]).abs();
+            prop_assert!(err <= (i32::from(q.step(i)) + 1) / 2);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! The grayscale image container.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by image construction and I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// Pixel buffer length does not match `width × height`.
+    SizeMismatch {
+        /// Declared width.
+        width: usize,
+        /// Declared height.
+        height: usize,
+        /// Pixels provided.
+        pixels: usize,
+    },
+    /// A dimension is zero.
+    EmptyDimension,
+    /// Malformed PGM data.
+    MalformedPgm(String),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::SizeMismatch {
+                width,
+                height,
+                pixels,
+            } => write!(
+                f,
+                "pixel buffer of {pixels} does not match {width}x{height}"
+            ),
+            ImageError::EmptyDimension => write!(f, "image dimensions must be non-zero"),
+            ImageError::MalformedPgm(msg) => write!(f, "malformed PGM: {msg}"),
+        }
+    }
+}
+
+impl Error for ImageError {}
+
+/// An 8-bit grayscale image in row-major order.
+///
+/// # Examples
+///
+/// ```
+/// use aix_image::Image;
+///
+/// let img = Image::filled(4, 3, 128);
+/// assert_eq!(img.pixel(2, 1), 128);
+/// assert_eq!(img.pixels().len(), 12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl Image {
+    /// Creates an image from a row-major pixel buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::SizeMismatch`] if `data.len() != width × height`
+    /// and [`ImageError::EmptyDimension`] for zero dimensions.
+    pub fn new(width: usize, height: usize, data: Vec<u8>) -> Result<Self, ImageError> {
+        if width == 0 || height == 0 {
+            return Err(ImageError::EmptyDimension);
+        }
+        if data.len() != width * height {
+            return Err(ImageError::SizeMismatch {
+                width,
+                height,
+                pixels: data.len(),
+            });
+        }
+        Ok(Self {
+            width,
+            height,
+            data,
+        })
+    }
+
+    /// An image with every pixel set to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn filled(width: usize, height: usize, value: u8) -> Self {
+        Self::new(width, height, vec![value; width * height]).expect("non-zero dimensions")
+    }
+
+    /// Builds an image by evaluating `f(x, y)` per pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> u8) -> Self {
+        assert!(width > 0 && height > 0, "dimensions must be non-zero");
+        let mut data = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                data.push(f(x, y));
+            }
+        }
+        Self {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The pixel at column `x`, row `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn pixel(&self, x: usize, y: usize) -> u8 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[y * self.width + x]
+    }
+
+    /// Sets the pixel at column `x`, row `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn set_pixel(&mut self, x: usize, y: usize, value: u8) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[y * self.width + x] = value;
+    }
+
+    /// The raw row-major pixel buffer.
+    pub fn pixels(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Extracts the 8×8 block whose top-left corner is at
+    /// `(block_x × 8, block_y × 8)`, padding out-of-range pixels by edge
+    /// replication.
+    pub fn block8(&self, block_x: usize, block_y: usize) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        for by in 0..8 {
+            for bx in 0..8 {
+                let x = (block_x * 8 + bx).min(self.width - 1);
+                let y = (block_y * 8 + by).min(self.height - 1);
+                out[by * 8 + bx] = self.pixel(x, y);
+            }
+        }
+        out
+    }
+
+    /// Writes an 8×8 block at block coordinates, ignoring out-of-range
+    /// pixels.
+    pub fn set_block8(&mut self, block_x: usize, block_y: usize, block: &[u8; 64]) {
+        for by in 0..8 {
+            for bx in 0..8 {
+                let x = block_x * 8 + bx;
+                let y = block_y * 8 + by;
+                if x < self.width && y < self.height {
+                    self.set_pixel(x, y, block[by * 8 + bx]);
+                }
+            }
+        }
+    }
+
+    /// Number of 8×8 blocks per row and column (rounding up).
+    pub fn block_counts(&self) -> (usize, usize) {
+        (self.width.div_ceil(8), self.height.div_ceil(8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Image::new(2, 2, vec![0; 4]).is_ok());
+        assert!(matches!(
+            Image::new(2, 2, vec![0; 3]),
+            Err(ImageError::SizeMismatch { .. })
+        ));
+        assert!(matches!(
+            Image::new(0, 2, vec![]),
+            Err(ImageError::EmptyDimension)
+        ));
+    }
+
+    #[test]
+    fn pixel_accessors_roundtrip() {
+        let mut img = Image::filled(3, 2, 0);
+        img.set_pixel(2, 1, 200);
+        assert_eq!(img.pixel(2, 1), 200);
+        assert_eq!(img.pixel(0, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn pixel_bounds_checked() {
+        let img = Image::filled(3, 2, 0);
+        let _ = img.pixel(3, 0);
+    }
+
+    #[test]
+    fn from_fn_row_major() {
+        let img = Image::from_fn(3, 2, |x, y| (y * 3 + x) as u8);
+        assert_eq!(img.pixels(), &[0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn block_roundtrip_inside() {
+        let mut img = Image::filled(16, 16, 0);
+        let mut block = [0u8; 64];
+        for (i, slot) in block.iter_mut().enumerate() {
+            *slot = i as u8;
+        }
+        img.set_block8(1, 1, &block);
+        assert_eq!(img.block8(1, 1), block);
+        assert_eq!(img.pixel(8, 8), 0);
+        assert_eq!(img.pixel(15, 15), 63);
+    }
+
+    #[test]
+    fn block_edge_replication() {
+        // 12x12 image: block (1,1) covers pixels 8..16 -> clamped at 11.
+        let img = Image::from_fn(12, 12, |x, y| (x + y) as u8);
+        let block = img.block8(1, 1);
+        // Bottom-right entries replicate pixel (11, 11) = 22.
+        assert_eq!(block[63], 22);
+        assert_eq!(img.block_counts(), (2, 2));
+    }
+}

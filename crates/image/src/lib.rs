@@ -1,0 +1,32 @@
+//! Grayscale images, quality metrics and procedural test content.
+//!
+//! The paper evaluates its image pipeline on sequences from the "video
+//! trace library" (akiyo, carphone, foreman, …). Those traces are not
+//! redistributable, so [`Sequence`] provides deterministic procedural
+//! stand-ins with matching *content character* — smooth head-and-shoulders
+//! scenes for `akiyo`/`miss`, dense calendar-and-toys texture for `mobile`
+//! — which preserves the PSNR ordering and spread the paper's Fig. 8(b)
+//! reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use aix_image::{psnr, Image, Sequence};
+//!
+//! let frame = Sequence::Akiyo.frame_qcif(0);
+//! assert_eq!((frame.width(), frame.height()), (176, 144));
+//! assert!(psnr(&frame, &frame).is_infinite(), "identical images");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod image;
+mod pgm;
+mod psnr;
+mod sequences;
+mod ssim;
+
+pub use image::{Image, ImageError};
+pub use pgm::{read_pgm, write_pgm};
+pub use psnr::{mse, psnr};
+pub use sequences::Sequence;
+pub use ssim::ssim;

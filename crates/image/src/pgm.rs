@@ -1,0 +1,130 @@
+//! Binary PGM (P5) reading and writing, so experiment outputs can be
+//! inspected with any image viewer.
+
+use crate::{Image, ImageError};
+use std::io::{self, Read, Write};
+
+/// Writes `image` as a binary PGM (P5) stream.
+///
+/// A `&mut` reference to any writer can be passed as well.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_pgm<W: Write>(mut writer: W, image: &Image) -> io::Result<()> {
+    write!(writer, "P5\n{} {}\n255\n", image.width(), image.height())?;
+    writer.write_all(image.pixels())
+}
+
+/// Reads a binary PGM (P5) stream.
+///
+/// A `&mut` reference to any reader can be passed as well.
+///
+/// # Errors
+///
+/// Returns [`ImageError::MalformedPgm`] for syntax errors and wraps I/O
+/// failures in the same variant.
+pub fn read_pgm<R: Read>(mut reader: R) -> Result<Image, ImageError> {
+    let mut bytes = Vec::new();
+    reader
+        .read_to_end(&mut bytes)
+        .map_err(|e| ImageError::MalformedPgm(e.to_string()))?;
+    let mut pos = 0usize;
+    let mut token = |bytes: &[u8]| -> Result<String, ImageError> {
+        // Skip whitespace and comments.
+        loop {
+            while pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+            if pos < bytes.len() && bytes[pos] == b'#' {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        let start = pos;
+        while pos < bytes.len() && !bytes[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        if start == pos {
+            return Err(ImageError::MalformedPgm("unexpected end of header".into()));
+        }
+        Ok(String::from_utf8_lossy(&bytes[start..pos]).into_owned())
+    };
+    let magic = token(&bytes)?;
+    if magic != "P5" {
+        return Err(ImageError::MalformedPgm(format!(
+            "expected magic P5, found {magic}"
+        )));
+    }
+    let parse = |s: String| -> Result<usize, ImageError> {
+        s.parse()
+            .map_err(|_| ImageError::MalformedPgm(format!("bad number `{s}`")))
+    };
+    let width = parse(token(&bytes)?)?;
+    let height = parse(token(&bytes)?)?;
+    let maxval = parse(token(&bytes)?)?;
+    if maxval != 255 {
+        return Err(ImageError::MalformedPgm(format!(
+            "only maxval 255 supported, found {maxval}"
+        )));
+    }
+    // Exactly one whitespace byte separates header and raster.
+    pos += 1;
+    let expected = width
+        .checked_mul(height)
+        .ok_or_else(|| ImageError::MalformedPgm("dimension overflow".into()))?;
+    let raster = bytes
+        .get(pos..pos + expected)
+        .ok_or_else(|| ImageError::MalformedPgm("truncated raster".into()))?;
+    Image::new(width, height, raster.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sequence;
+
+    #[test]
+    fn roundtrip() {
+        let img = Sequence::Foreman.frame(64, 48, 0);
+        let mut buffer = Vec::new();
+        write_pgm(&mut buffer, &img).unwrap();
+        let back = read_pgm(buffer.as_slice()).unwrap();
+        assert_eq!(img, back);
+    }
+
+    #[test]
+    fn header_is_p5() {
+        let img = Image::filled(2, 2, 9);
+        let mut buffer = Vec::new();
+        write_pgm(&mut buffer, &img).unwrap();
+        assert!(buffer.starts_with(b"P5\n2 2\n255\n"));
+        assert_eq!(buffer.len(), b"P5\n2 2\n255\n".len() + 4);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let data = b"P5 # a comment\n2 1\n255\n\x10\x20";
+        let img = read_pgm(&data[..]).unwrap();
+        assert_eq!(img.pixels(), &[0x10, 0x20]);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(matches!(
+            read_pgm(&b"P2\n1 1\n255\n0"[..]),
+            Err(ImageError::MalformedPgm(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_raster() {
+        assert!(matches!(
+            read_pgm(&b"P5\n4 4\n255\n\x00\x01"[..]),
+            Err(ImageError::MalformedPgm(_))
+        ));
+    }
+}

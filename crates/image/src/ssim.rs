@@ -1,0 +1,136 @@
+//! Structural similarity (SSIM): a perceptual quality metric complementing
+//! PSNR for the approximation-quality studies.
+
+use crate::Image;
+
+/// Window size of the block-wise SSIM computation.
+const WINDOW: usize = 8;
+/// Stabilizers from the original SSIM paper for 8-bit dynamic range.
+const C1: f64 = (0.01 * 255.0) * (0.01 * 255.0);
+const C2: f64 = (0.03 * 255.0) * (0.03 * 255.0);
+
+/// Mean structural similarity between two images of identical dimensions,
+/// computed over non-overlapping 8×8 windows (matching the DCT block grid).
+///
+/// Returns a value in `(0, 1]`; identical images score exactly `1.0`.
+///
+/// # Panics
+///
+/// Panics if the dimensions differ or the images are smaller than 8×8.
+///
+/// # Examples
+///
+/// ```
+/// use aix_image::{ssim, Sequence};
+///
+/// let frame = Sequence::Akiyo.frame(64, 48, 0);
+/// assert_eq!(ssim(&frame, &frame), 1.0);
+/// ```
+pub fn ssim(reference: &Image, distorted: &Image) -> f64 {
+    assert_eq!(
+        (reference.width(), reference.height()),
+        (distorted.width(), distorted.height()),
+        "images must have identical dimensions"
+    );
+    assert!(
+        reference.width() >= WINDOW && reference.height() >= WINDOW,
+        "images must be at least {WINDOW}x{WINDOW}"
+    );
+    let windows_x = reference.width() / WINDOW;
+    let windows_y = reference.height() / WINDOW;
+    let mut total = 0.0;
+    for wy in 0..windows_y {
+        for wx in 0..windows_x {
+            total += window_ssim(reference, distorted, wx * WINDOW, wy * WINDOW);
+        }
+    }
+    total / (windows_x * windows_y) as f64
+}
+
+fn window_ssim(a: &Image, b: &Image, x0: usize, y0: usize) -> f64 {
+    let n = (WINDOW * WINDOW) as f64;
+    let (mut sum_a, mut sum_b) = (0.0, 0.0);
+    for y in y0..y0 + WINDOW {
+        for x in x0..x0 + WINDOW {
+            sum_a += f64::from(a.pixel(x, y));
+            sum_b += f64::from(b.pixel(x, y));
+        }
+    }
+    let (mean_a, mean_b) = (sum_a / n, sum_b / n);
+    let (mut var_a, mut var_b, mut covar) = (0.0, 0.0, 0.0);
+    for y in y0..y0 + WINDOW {
+        for x in x0..x0 + WINDOW {
+            let da = f64::from(a.pixel(x, y)) - mean_a;
+            let db = f64::from(b.pixel(x, y)) - mean_b;
+            var_a += da * da;
+            var_b += db * db;
+            covar += da * db;
+        }
+    }
+    var_a /= n - 1.0;
+    var_b /= n - 1.0;
+    covar /= n - 1.0;
+    ((2.0 * mean_a * mean_b + C1) * (2.0 * covar + C2))
+        / ((mean_a * mean_a + mean_b * mean_b + C1) * (var_a + var_b + C2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sequence;
+
+    #[test]
+    fn identical_images_score_one() {
+        let img = Sequence::Foreman.frame(64, 48, 0);
+        assert_eq!(ssim(&img, &img), 1.0);
+    }
+
+    #[test]
+    fn ssim_decreases_with_distortion() {
+        let reference = Sequence::Akiyo.frame(64, 48, 0);
+        let mild = Image::from_fn(64, 48, |x, y| reference.pixel(x, y).saturating_add(3));
+        let severe = Image::from_fn(64, 48, |x, y| {
+            reference.pixel(x, y).wrapping_mul(31).wrapping_add(17)
+        });
+        let s_mild = ssim(&reference, &mild);
+        let s_severe = ssim(&reference, &severe);
+        assert!(s_mild > s_severe, "{s_mild} vs {s_severe}");
+        assert!(s_mild > 0.9, "uniform +3 is nearly invisible: {s_mild}");
+        assert!(s_severe < 0.5, "scrambling destroys structure: {s_severe}");
+    }
+
+    #[test]
+    fn constant_shift_scores_higher_than_noise_of_equal_mse() {
+        // SSIM's reason for existing: structure-preserving distortions
+        // score better than structure-destroying ones at equal pixel error.
+        let reference = Sequence::Mother.frame(64, 48, 0);
+        let shift = Image::from_fn(64, 48, |x, y| reference.pixel(x, y).saturating_add(10));
+        let noisy = Image::from_fn(64, 48, |x, y| {
+            let sign = (x * 31 + y * 17) % 2 == 0;
+            if sign {
+                reference.pixel(x, y).saturating_add(10)
+            } else {
+                reference.pixel(x, y).saturating_sub(10)
+            }
+        });
+        assert!(ssim(&reference, &shift) > ssim(&reference, &noisy));
+    }
+
+    #[test]
+    #[should_panic(expected = "identical dimensions")]
+    fn dimension_mismatch_panics() {
+        let a = Image::filled(16, 16, 0);
+        let b = Image::filled(8, 16, 0);
+        let _ = ssim(&a, &b);
+    }
+
+    #[test]
+    fn bounded_above_by_one() {
+        for seq in [Sequence::Mobile, Sequence::Suzie] {
+            let a = seq.frame(48, 40, 0);
+            let b = seq.frame(48, 40, 1);
+            let s = ssim(&a, &b);
+            assert!(s > 0.0 && s <= 1.0, "{s}");
+        }
+    }
+}

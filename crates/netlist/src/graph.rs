@@ -1,0 +1,123 @@
+//! Graph algorithms over netlists: topological ordering (Kahn's algorithm).
+
+use crate::{GateId, NetDriver, Netlist, NetlistError};
+
+/// Computes a fanin-before-fanout ordering of all gates.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] naming one gate on a cycle
+/// if the graph is not a DAG.
+pub(crate) fn topological_order(netlist: &Netlist) -> Result<Vec<GateId>, NetlistError> {
+    let gate_count = netlist.gate_count();
+    // In-degree of each gate = number of its input nets driven by gates.
+    let mut in_degree = vec![0u32; gate_count];
+    // Successor lists keyed by driving gate.
+    let mut successors: Vec<Vec<u32>> = vec![Vec::new(); gate_count];
+    for (id, gate) in netlist.gates() {
+        for &net in &gate.inputs {
+            if let NetDriver::Gate { gate: driver, .. } = netlist.net(net).driver {
+                successors[driver.index()].push(id.0);
+                in_degree[id.index()] += 1;
+            }
+        }
+    }
+    let mut queue: Vec<u32> = (0..gate_count as u32)
+        .filter(|&g| in_degree[g as usize] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(gate_count);
+    let mut head = 0;
+    while head < queue.len() {
+        let g = queue[head];
+        head += 1;
+        order.push(GateId(g));
+        for &succ in &successors[g as usize] {
+            in_degree[succ as usize] -= 1;
+            if in_degree[succ as usize] == 0 {
+                queue.push(succ);
+            }
+        }
+    }
+    if order.len() != gate_count {
+        // Some gate still has positive in-degree: it lies on a cycle.
+        let culprit = in_degree
+            .iter()
+            .position(|&d| d > 0)
+            .expect("cycle implies a positive in-degree");
+        return Err(NetlistError::CombinationalCycle(GateId(culprit as u32)));
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{NetDriver, Netlist, NetlistError};
+    use aix_cells::{CellFunction, DriveStrength, Library};
+    use std::sync::Arc;
+
+    #[test]
+    fn linear_chain_is_ordered() {
+        let lib = Arc::new(Library::nangate45_like());
+        let inv = lib.find(CellFunction::Inv, DriveStrength::X1).unwrap();
+        let mut nl = Netlist::new("chain", lib);
+        let a = nl.add_input("a");
+        let mut prev = a;
+        for _ in 0..10 {
+            prev = nl.add_gate(inv, &[prev]).unwrap()[0];
+        }
+        nl.mark_output("y", prev);
+        let order = nl.topological_order().unwrap();
+        assert_eq!(order.len(), 10);
+        for window in order.windows(2) {
+            assert!(window[0].index() < window[1].index(), "chain order is id order");
+        }
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let lib = Arc::new(Library::nangate45_like());
+        let nand = lib.find(CellFunction::Nand2, DriveStrength::X1).unwrap();
+        let mut nl = Netlist::new("latch", lib);
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        // Cross-coupled NANDs (an SR latch): a combinational cycle.
+        let q = nl.add_gate(nand, &[a, b]).unwrap()[0];
+        let qn = nl.add_gate(nand, &[b, q]).unwrap()[0];
+        // Rewire the first gate's second input to close the loop.
+        nl.gate_mut(crate::GateId(0)).inputs[1] = qn;
+        nl.mark_output("q", q);
+        assert!(matches!(
+            nl.topological_order(),
+            Err(NetlistError::CombinationalCycle(_))
+        ));
+    }
+
+    #[test]
+    fn diamond_respects_dependencies() {
+        let lib = Arc::new(Library::nangate45_like());
+        let inv = lib.find(CellFunction::Inv, DriveStrength::X1).unwrap();
+        let and = lib.find(CellFunction::And2, DriveStrength::X1).unwrap();
+        let mut nl = Netlist::new("diamond", lib);
+        let a = nl.add_input("a");
+        let l = nl.add_gate(inv, &[a]).unwrap()[0];
+        let r = nl.add_gate(inv, &[a]).unwrap()[0];
+        let y = nl.add_gate(and, &[l, r]).unwrap()[0];
+        nl.mark_output("y", y);
+        let order = nl.topological_order().unwrap();
+        let pos = |g: u32| order.iter().position(|x| x.0 == g).unwrap();
+        assert!(pos(0) < pos(2) && pos(1) < pos(2));
+    }
+
+    #[test]
+    fn constants_do_not_create_dependencies() {
+        let lib = Arc::new(Library::nangate45_like());
+        let and = lib.find(CellFunction::And2, DriveStrength::X1).unwrap();
+        let mut nl = Netlist::new("const", lib);
+        let a = nl.add_input("a");
+        let one = nl.constant(true);
+        let y = nl.add_gate(and, &[a, one]).unwrap()[0];
+        nl.mark_output("y", y);
+        assert_eq!(nl.topological_order().unwrap().len(), 1);
+        assert!(matches!(nl.net(one).driver, NetDriver::Constant(true)));
+    }
+}

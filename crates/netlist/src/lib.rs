@@ -1,0 +1,49 @@
+//! Gate-level netlist intermediate representation.
+//!
+//! A [`Netlist`] is a directed graph of standard-cell instances ([`Gate`])
+//! connected by wires ([`Net`]). Netlists in this workspace are purely
+//! combinational — they model the datapath logic between register stages,
+//! which is exactly the granularity at which the paper characterizes RTL
+//! components and analyzes timing.
+//!
+//! The crate provides construction, validation, topological ordering,
+//! functional (zero-delay) evaluation, structural statistics and DOT export.
+//!
+//! # Examples
+//!
+//! Build and evaluate a one-bit half adder:
+//!
+//! ```
+//! use aix_cells::{CellFunction, DriveStrength, Library};
+//! use aix_netlist::Netlist;
+//! use std::sync::Arc;
+//!
+//! let lib = Arc::new(Library::nangate45_like());
+//! let mut nl = Netlist::new("ha", lib.clone());
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let ha = lib.find(CellFunction::HalfAdder, DriveStrength::X1).unwrap();
+//! let out = nl.add_gate(ha, &[a, b])?;
+//! nl.mark_output("sum", out[0]);
+//! nl.mark_output("carry", out[1]);
+//! nl.validate()?;
+//! assert_eq!(nl.eval(&[true, true])?, vec![false, true]);
+//! # Ok::<(), aix_netlist::NetlistError>(())
+//! ```
+
+mod bus;
+mod dot;
+mod error;
+mod eval;
+mod graph;
+mod netlist;
+mod stats;
+mod verilog;
+
+pub use bus::{bus_from_u64, bus_to_u64, Bus};
+pub use dot::to_dot;
+pub use error::NetlistError;
+pub use eval::Evaluator;
+pub use netlist::{Gate, GateId, Net, NetDriver, NetId, Netlist, PortDirection};
+pub use stats::NetlistStats;
+pub use verilog::to_verilog;

@@ -1,0 +1,117 @@
+//! Structural statistics of a netlist.
+
+use crate::Netlist;
+use aix_cells::CellFunction;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Summary statistics of a netlist: sizes, area, leakage and the per-function
+/// cell histogram.
+///
+/// # Examples
+///
+/// ```
+/// use aix_cells::{CellFunction, DriveStrength, Library};
+/// use aix_netlist::Netlist;
+/// use std::sync::Arc;
+///
+/// let lib = Arc::new(Library::nangate45_like());
+/// let mut nl = Netlist::new("demo", lib.clone());
+/// let a = nl.add_input("a");
+/// let inv = lib.find(CellFunction::Inv, DriveStrength::X1).unwrap();
+/// let y = nl.add_gate(inv, &[a])?;
+/// nl.mark_output("y", y[0]);
+/// let stats = nl.stats();
+/// assert_eq!(stats.gate_count, 1);
+/// assert!(stats.area_um2 > 0.0);
+/// # Ok::<(), aix_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistStats {
+    /// Number of cell instances.
+    pub gate_count: usize,
+    /// Number of nets.
+    pub net_count: usize,
+    /// Number of primary inputs.
+    pub input_count: usize,
+    /// Number of primary outputs.
+    pub output_count: usize,
+    /// Total layout area in µm².
+    pub area_um2: f64,
+    /// Total static leakage in nW.
+    pub leakage_nw: f64,
+    /// Instance count per cell function.
+    pub function_histogram: BTreeMap<CellFunction, usize>,
+}
+
+impl NetlistStats {
+    /// Collects statistics from `netlist`.
+    pub fn collect(netlist: &Netlist) -> Self {
+        let mut area = 0.0;
+        let mut leakage = 0.0;
+        let mut histogram: BTreeMap<CellFunction, usize> = BTreeMap::new();
+        for (_, gate) in netlist.gates() {
+            let cell = netlist.library().cell(gate.cell);
+            area += cell.area_um2;
+            leakage += cell.leakage_nw;
+            *histogram.entry(cell.function).or_insert(0) += 1;
+        }
+        Self {
+            gate_count: netlist.gate_count(),
+            net_count: netlist.net_count(),
+            input_count: netlist.inputs().len(),
+            output_count: netlist.outputs().len(),
+            area_um2: area,
+            leakage_nw: leakage,
+            function_histogram: histogram,
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} gates, {} nets, {} inputs, {} outputs, {:.1} um2, {:.1} nW leakage",
+            self.gate_count,
+            self.net_count,
+            self.input_count,
+            self.output_count,
+            self.area_um2,
+            self.leakage_nw
+        )?;
+        for (function, count) in &self.function_histogram {
+            writeln!(f, "  {function}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aix_cells::{DriveStrength, Library};
+    use std::sync::Arc;
+
+    #[test]
+    fn stats_accumulate() {
+        let lib = Arc::new(Library::nangate45_like());
+        let inv = lib.find(CellFunction::Inv, DriveStrength::X1).unwrap();
+        let nand = lib.find(CellFunction::Nand2, DriveStrength::X1).unwrap();
+        let mut nl = Netlist::new("s", lib.clone());
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.add_gate(inv, &[a]).unwrap()[0];
+        let y = nl.add_gate(nand, &[x, b]).unwrap()[0];
+        nl.mark_output("y", y);
+        let stats = nl.stats();
+        assert_eq!(stats.gate_count, 2);
+        assert_eq!(stats.input_count, 2);
+        assert_eq!(stats.output_count, 1);
+        assert_eq!(stats.function_histogram[&CellFunction::Inv], 1);
+        assert_eq!(stats.function_histogram[&CellFunction::Nand2], 1);
+        let expect_area = lib.cell(inv).area_um2 + lib.cell(nand).area_um2;
+        assert!((stats.area_um2 - expect_area).abs() < 1e-12);
+        assert!(!stats.to_string().is_empty());
+    }
+}

@@ -1,0 +1,210 @@
+//! Structural Verilog export: makes every synthesized netlist a portable
+//! artifact that can be inspected, re-simulated or re-synthesized with
+//! standard EDA tooling.
+
+use crate::{NetDriver, NetId, Netlist};
+use std::fmt::Write as _;
+
+/// Sanitizes a name into a Verilog identifier (bus bits `a[3]` become
+/// `a_3_`; anything else non-alphanumeric becomes `_`).
+fn identifier(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        out.insert(0, 'n');
+    }
+    out
+}
+
+/// The Verilog expression for a net: a port name, an internal wire, or a
+/// constant literal.
+fn net_expr(netlist: &Netlist, net: NetId) -> String {
+    match netlist.net(net).driver {
+        NetDriver::Constant(false) => "1'b0".to_owned(),
+        NetDriver::Constant(true) => "1'b1".to_owned(),
+        NetDriver::PrimaryInput(_) => identifier(
+            netlist
+                .net(net)
+                .name
+                .as_deref()
+                .unwrap_or(&format!("pi_{}", net.index())),
+        ),
+        NetDriver::Gate { .. } => format!("w{}", net.index()),
+    }
+}
+
+/// Renders the netlist as a structural Verilog module.
+///
+/// Cells are instantiated by their library name with positional-free named
+/// connections (`.a(...)`, `.b(...)`, `.c(...)` for inputs in pin order,
+/// `.y(...)`/`.co(...)` for outputs), so the output pairs with any cell
+/// library that follows the same naming.
+///
+/// # Examples
+///
+/// ```
+/// use aix_cells::{CellFunction, DriveStrength, Library};
+/// use aix_netlist::{to_verilog, Netlist};
+/// use std::sync::Arc;
+///
+/// let lib = Arc::new(Library::nangate45_like());
+/// let mut nl = Netlist::new("inv_wrap", lib.clone());
+/// let a = nl.add_input("a");
+/// let inv = lib.find(CellFunction::Inv, DriveStrength::X1).unwrap();
+/// let y = nl.add_gate(inv, &[a])?;
+/// nl.mark_output("y", y[0]);
+/// let verilog = to_verilog(&nl);
+/// assert!(verilog.contains("module inv_wrap"));
+/// assert!(verilog.contains("INV_X1"));
+/// # Ok::<(), aix_netlist::NetlistError>(())
+/// ```
+pub fn to_verilog(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let inputs: Vec<String> = netlist
+        .inputs()
+        .iter()
+        .map(|&n| net_expr(netlist, n))
+        .collect();
+    let outputs: Vec<String> = netlist
+        .outputs()
+        .iter()
+        .map(|(name, _)| identifier(name))
+        .collect();
+    let _ = writeln!(
+        out,
+        "module {} ({});",
+        identifier(netlist.name()),
+        inputs
+            .iter()
+            .chain(outputs.iter())
+            .cloned()
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    for input in &inputs {
+        let _ = writeln!(out, "  input {input};");
+    }
+    for output in &outputs {
+        let _ = writeln!(out, "  output {output};");
+    }
+    // Internal wires: every gate-driven net.
+    for (id, net) in netlist.nets() {
+        if matches!(net.driver, NetDriver::Gate { .. }) {
+            let _ = writeln!(out, "  wire w{};", id.index());
+        }
+    }
+    // Cell instances.
+    const INPUT_PINS: [&str; 3] = ["a", "b", "c"];
+    const OUTPUT_PINS: [&str; 2] = ["y", "co"];
+    for (id, gate) in netlist.gates() {
+        let cell = netlist.library().cell(gate.cell);
+        let mut connections = Vec::new();
+        for (pin, &net) in gate.inputs.iter().enumerate() {
+            connections.push(format!(".{}({})", INPUT_PINS[pin], net_expr(netlist, net)));
+        }
+        for (pin, &net) in gate.outputs.iter().enumerate() {
+            connections.push(format!(".{}(w{})", OUTPUT_PINS[pin], net.index()));
+        }
+        let _ = writeln!(
+            out,
+            "  {} g{} ({});",
+            cell.name,
+            id.index(),
+            connections.join(", ")
+        );
+    }
+    // Output port assignments.
+    for (name, net) in netlist.outputs() {
+        let _ = writeln!(
+            out,
+            "  assign {} = {};",
+            identifier(name),
+            net_expr(netlist, *net)
+        );
+    }
+    out.push_str("endmodule\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aix_cells::{CellFunction, DriveStrength, Library};
+    use std::sync::Arc;
+
+    fn lib() -> Arc<Library> {
+        Arc::new(Library::nangate45_like())
+    }
+
+    #[test]
+    fn full_adder_module_structure() {
+        let lib = lib();
+        let fa = lib.find(CellFunction::FullAdder, DriveStrength::X2).unwrap();
+        let mut nl = Netlist::new("fa1", lib.clone());
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let cin = nl.add_input("cin");
+        let outs = nl.add_gate(fa, &[a, b, cin]).unwrap();
+        nl.mark_output("sum", outs[0]);
+        nl.mark_output("cout", outs[1]);
+        let v = to_verilog(&nl);
+        assert!(v.starts_with("module fa1 (a, b, cin, sum, cout);"));
+        assert!(v.contains("input a;"));
+        assert!(v.contains("output cout;"));
+        assert!(v.contains("FA_X2 g0 (.a(a), .b(b), .c(cin), .y(w3), .co(w4));"));
+        assert!(v.contains("assign sum = w3;"));
+        assert!(v.trim_end().ends_with("endmodule"));
+    }
+
+    #[test]
+    fn bus_names_are_sanitized() {
+        let lib = lib();
+        let inv = lib.find(CellFunction::Inv, DriveStrength::X1).unwrap();
+        let mut nl = Netlist::new("bus", lib.clone());
+        let bus = nl.add_input_bus("data", 2);
+        let y = nl.add_gate(inv, &[bus[1]]).unwrap();
+        nl.mark_output("q[0]", y[0]);
+        let v = to_verilog(&nl);
+        assert!(v.contains("data_0_"));
+        assert!(v.contains("data_1_"));
+        assert!(v.contains("assign q_0_ = "));
+        assert!(!v.contains('['), "no raw brackets in identifiers: {v}");
+    }
+
+    #[test]
+    fn constants_render_as_literals() {
+        let lib = lib();
+        let and = lib.find(CellFunction::And2, DriveStrength::X1).unwrap();
+        let mut nl = Netlist::new("c", lib.clone());
+        let a = nl.add_input("a");
+        let one = nl.constant(true);
+        let y = nl.add_gate(and, &[a, one]).unwrap();
+        nl.mark_output("y", y[0]);
+        let v = to_verilog(&nl);
+        assert!(v.contains(".b(1'b1)"));
+    }
+
+    #[test]
+    fn every_gate_of_a_chain_is_instantiated() {
+        let lib = lib();
+        let inv = lib.find(CellFunction::Inv, DriveStrength::X1).unwrap();
+        let nand = lib.find(CellFunction::Nand2, DriveStrength::X2).unwrap();
+        let mut nl = Netlist::new("chain", lib.clone());
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let mut prev = a;
+        for _ in 0..5 {
+            prev = nl.add_gate(inv, &[prev]).unwrap()[0];
+        }
+        let y = nl.add_gate(nand, &[prev, b]).unwrap()[0];
+        nl.mark_output("y", y);
+        let v = to_verilog(&nl);
+        let instances = v
+            .lines()
+            .filter(|l| l.contains("INV_X1 g") || l.contains("NAND2_X2 g"))
+            .count();
+        assert_eq!(instances, nl.gate_count());
+    }
+}

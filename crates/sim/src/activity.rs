@@ -1,0 +1,347 @@
+//! Switching-activity extraction and conversion to BTI stress factors.
+
+use aix_aging::{StressFactor, StressPair};
+use aix_netlist::{Evaluator, Netlist, NetlistError};
+
+/// Signal statistics collected from functional simulation of a vector
+/// stream: per-net signal probability and toggle counts.
+///
+/// This is the "gate-level simulation for switching activity" step of the
+/// paper's Fig. 3(c) — a one-time effort per component that feeds both the
+/// actual-case aging analysis and the dynamic-power model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Activity {
+    ones: Vec<u64>,
+    toggles: Vec<u64>,
+    vectors: u64,
+}
+
+impl Activity {
+    /// Builds an activity record from raw statistics (ones per net,
+    /// transitions per net, vector count) — used by the glitch-aware
+    /// timed-simulation extraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two statistics vectors differ in length.
+    pub fn from_parts(ones: Vec<u64>, toggles: Vec<u64>, vectors: u64) -> Self {
+        assert_eq!(ones.len(), toggles.len(), "per-net statistics must align");
+        Self {
+            ones,
+            toggles,
+            vectors,
+        }
+    }
+
+    /// Simulates `vectors` input vectors drawn from `stimuli` and collects
+    /// statistics over every net.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator errors (cyclic netlist, width mismatch).
+    pub fn collect<I>(netlist: &Netlist, stimuli: I) -> Result<Self, NetlistError>
+    where
+        I: IntoIterator<Item = Vec<bool>>,
+    {
+        let mut evaluator = Evaluator::new(netlist)?;
+        let mut ones = vec![0u64; netlist.net_count()];
+        let mut toggles = vec![0u64; netlist.net_count()];
+        let mut previous: Option<Vec<bool>> = None;
+        let mut vectors = 0u64;
+        for vector in stimuli {
+            evaluator.eval(&vector)?;
+            let values = evaluator.net_values();
+            for (i, &v) in values.iter().enumerate() {
+                if v {
+                    ones[i] += 1;
+                }
+                if let Some(prev) = &previous {
+                    if prev[i] != v {
+                        toggles[i] += 1;
+                    }
+                }
+            }
+            match &mut previous {
+                Some(prev) => prev.copy_from_slice(values),
+                None => previous = Some(values.to_vec()),
+            }
+            vectors += 1;
+        }
+        Ok(Self {
+            ones,
+            toggles,
+            vectors,
+        })
+    }
+
+    /// Number of vectors simulated.
+    pub fn vector_count(&self) -> u64 {
+        self.vectors
+    }
+
+    /// Probability of net `net_index` being logic one.
+    ///
+    /// Returns `0.0` if no vectors were simulated.
+    pub fn probability_one(&self, net_index: usize) -> f64 {
+        if self.vectors == 0 {
+            0.0
+        } else {
+            self.ones[net_index] as f64 / self.vectors as f64
+        }
+    }
+
+    /// Average toggles per vector on net `net_index` (the switching
+    /// activity `α` of the dynamic-power model).
+    pub fn toggle_rate(&self, net_index: usize) -> f64 {
+        if self.vectors <= 1 {
+            0.0
+        } else {
+            self.toggles[net_index] as f64 / (self.vectors - 1) as f64
+        }
+    }
+
+    /// Mean toggle rate over all nets.
+    pub fn mean_toggle_rate(&self) -> f64 {
+        if self.ones.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = (0..self.ones.len()).map(|i| self.toggle_rate(i)).sum();
+        sum / self.ones.len() as f64
+    }
+}
+
+/// Collects *glitch-aware* activity by running the event-driven timed
+/// simulator: every real transition counts, including hazards a zero-delay
+/// functional simulation never sees. Multiplier arrays in particular
+/// glitch heavily, so dynamic power computed from this activity is the
+/// honest figure.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn collect_timed_activity<I>(
+    netlist: &Netlist,
+    delays: &aix_sta::NetDelays,
+    stimuli: I,
+) -> Result<Activity, NetlistError>
+where
+    I: IntoIterator<Item = Vec<bool>>,
+{
+    let mut sim = crate::TimedSimulator::new(netlist, delays)?;
+    // A zero-delay evaluator supplies the settled per-net values for the
+    // ones statistics; the timed simulator supplies true transition counts.
+    let mut evaluator = Evaluator::new(netlist)?;
+    let mut ones = vec![0u64; netlist.net_count()];
+    let mut vectors = 0u64;
+    for vector in stimuli {
+        // A generous clock: only settled values and real transition counts
+        // matter here, not sampling errors.
+        sim.step(&vector, f64::MAX / 4.0)?;
+        evaluator.eval(&vector)?;
+        for (one, &value) in ones.iter_mut().zip(evaluator.net_values()) {
+            *one += u64::from(value);
+        }
+        vectors += 1;
+    }
+    Ok(Activity::from_parts(
+        ones,
+        sim.transition_counts().to_vec(),
+        vectors,
+    ))
+}
+
+/// Derives per-gate (pMOS, nMOS) stress pairs from extracted activity.
+///
+/// A gate's pull-up network is under NBTI stress while its inputs are low,
+/// the pull-down under PBTI stress while they are high; the per-network
+/// stress factor is the corresponding signal probability averaged over the
+/// gate's input pins.
+pub fn stress_pairs(netlist: &Netlist, activity: &Activity) -> Vec<StressPair> {
+    netlist
+        .gates()
+        .map(|(_, gate)| {
+            let mean_p_one = gate
+                .inputs
+                .iter()
+                .map(|n| activity.probability_one(n.index()))
+                .sum::<f64>()
+                / gate.inputs.len().max(1) as f64;
+            StressPair::from_signal_probability(mean_p_one)
+        })
+        .collect()
+}
+
+/// A histogram of transistor stress factors, as plotted in the paper's
+/// Fig. 5 to show that artificial (normally distributed) stimuli stress the
+/// netlist like real application data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StressHistogram {
+    bins: Vec<u64>,
+}
+
+impl StressHistogram {
+    /// Number of histogram bins over `[0, 1]`.
+    pub const BINS: usize = 20;
+
+    /// Bin counts, low stress first.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Normalized bin weights (empty histogram yields all zeros).
+    pub fn weights(&self) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            return vec![0.0; Self::BINS];
+        }
+        self.bins
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+
+    /// L1 distance between two normalized histograms, in `[0, 2]`.
+    /// The paper's "very similar stress distributions" claim corresponds to
+    /// a small distance.
+    pub fn distance(&self, other: &StressHistogram) -> f64 {
+        self.weights()
+            .iter()
+            .zip(other.weights())
+            .map(|(a, b)| (a - b).abs())
+            .sum()
+    }
+}
+
+/// Histograms the per-transistor stress factors implied by `pairs`
+/// (each gate input pin contributes one pMOS and one nMOS transistor).
+pub fn stress_histogram(pairs: &[StressPair]) -> StressHistogram {
+    let mut bins = vec![0u64; StressHistogram::BINS];
+    let mut push = |s: StressFactor| {
+        let bin = ((s.value() * StressHistogram::BINS as f64) as usize)
+            .min(StressHistogram::BINS - 1);
+        bins[bin] += 1;
+    };
+    for pair in pairs {
+        push(pair.pmos);
+        push(pair.nmos);
+    }
+    StressHistogram { bins }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NormalOperands, OperandSource};
+    use aix_arith::{build_adder, AdderKind, ComponentSpec};
+    use aix_cells::Library;
+    use std::sync::Arc;
+
+    fn adder8() -> Netlist {
+        let lib = Arc::new(Library::nangate45_like());
+        build_adder(&lib, AdderKind::RippleCarry, ComponentSpec::full(8)).unwrap()
+    }
+
+    #[test]
+    fn constant_inputs_give_extreme_probabilities() {
+        let nl = adder8();
+        let all_ones = vec![vec![true; 16]; 10];
+        let act = Activity::collect(&nl, all_ones).unwrap();
+        for &net in nl.inputs() {
+            assert_eq!(act.probability_one(net.index()), 1.0);
+            assert_eq!(act.toggle_rate(net.index()), 0.0);
+        }
+        let pairs = stress_pairs(&nl, &act);
+        // Gates fed only by ones: nMOS fully stressed where inputs are all 1.
+        let first_gate_pair = pairs[0];
+        assert!(first_gate_pair.nmos.value() > 0.9 || first_gate_pair.pmos.value() > 0.0);
+    }
+
+    #[test]
+    fn alternating_inputs_toggle() {
+        let nl = adder8();
+        let vectors: Vec<Vec<bool>> = (0..10).map(|i| vec![i % 2 == 1; 16]).collect();
+        let act = Activity::collect(&nl, vectors).unwrap();
+        for &net in nl.inputs() {
+            assert!((act.probability_one(net.index()) - 0.5).abs() < 0.11);
+            assert_eq!(act.toggle_rate(net.index()), 1.0);
+        }
+    }
+
+    #[test]
+    fn random_stimuli_give_interior_stress() {
+        let nl = adder8();
+        let stimuli = NormalOperands::new(8, 42).vectors(500);
+        let act = Activity::collect(&nl, stimuli).unwrap();
+        let pairs = stress_pairs(&nl, &act);
+        let interior = pairs
+            .iter()
+            .filter(|p| p.pmos.value() > 0.1 && p.pmos.value() < 0.9)
+            .count();
+        assert!(
+            interior > pairs.len() / 2,
+            "most gates should see balanced-ish stress, got {interior}/{}",
+            pairs.len()
+        );
+    }
+
+    #[test]
+    fn histogram_totals_and_distance() {
+        let nl = adder8();
+        let a1 = Activity::collect(&nl, NormalOperands::new(8, 1).vectors(400)).unwrap();
+        let a2 = Activity::collect(&nl, NormalOperands::new(8, 2).vectors(400)).unwrap();
+        let h1 = stress_histogram(&stress_pairs(&nl, &a1));
+        let h2 = stress_histogram(&stress_pairs(&nl, &a2));
+        // One pMOS + one nMOS sample per gate.
+        assert_eq!(h1.total() as usize, 2 * nl.gate_count());
+        // Same distribution family, different seeds: histograms nearly match.
+        assert!(h1.distance(&h2) < 0.3, "distance {}", h1.distance(&h2));
+        assert_eq!(h1.distance(&h1), 0.0);
+    }
+
+    #[test]
+    fn timed_activity_sees_glitches_functional_misses() {
+        use aix_sta::NetDelays;
+        // Multiplier-style logic glitches; the timed toggle counts must be
+        // at least the functional ones on every net, and strictly larger
+        // somewhere.
+        use aix_arith::{build_multiplier, ComponentSpec, MultiplierKind};
+        let lib = Arc::new(Library::nangate45_like());
+        let nl = build_multiplier(&lib, MultiplierKind::Array, ComponentSpec::full(8)).unwrap();
+        let vectors: Vec<Vec<bool>> =
+            NormalOperands::new(8, 9).vectors(150).collect();
+        let functional = Activity::collect(&nl, vectors.clone()).unwrap();
+        let timed =
+            collect_timed_activity(&nl, &NetDelays::fresh(&nl), vectors).unwrap();
+        let mut strictly_more = 0;
+        for (id, _) in nl.nets() {
+            let f = functional.toggle_rate(id.index());
+            let t = timed.toggle_rate(id.index());
+            assert!(t + 1e-9 >= f, "net {id}: timed {t} < functional {f}");
+            if t > f + 1e-9 {
+                strictly_more += 1;
+            }
+        }
+        assert!(strictly_more > 0, "a multiplier must glitch somewhere");
+    }
+
+    #[test]
+    fn from_parts_validates_alignment() {
+        let a = Activity::from_parts(vec![1, 2], vec![0, 1], 4);
+        assert_eq!(a.vector_count(), 4);
+        assert_eq!(a.probability_one(0), 0.25);
+    }
+
+    #[test]
+    fn empty_activity_is_benign() {
+        let nl = adder8();
+        let act = Activity::collect(&nl, Vec::<Vec<bool>>::new()).unwrap();
+        assert_eq!(act.vector_count(), 0);
+        assert_eq!(act.probability_one(0), 0.0);
+        assert_eq!(act.mean_toggle_rate(), 0.0);
+    }
+}

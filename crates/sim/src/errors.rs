@@ -1,0 +1,199 @@
+//! Timing-error statistics: the paper's motivational measurement (Fig. 1).
+
+use crate::TimedSimulator;
+use aix_netlist::{bus_to_u64, Netlist, NetlistError};
+use aix_sta::NetDelays;
+
+/// Error statistics of a component clocked at a fixed period while its
+/// gates carry (possibly aged) delays.
+///
+/// The paper reports the *percentage of erroneous outputs*: the fraction of
+/// applied input vectors for which at least one output bit is latched
+/// before it settles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Vectors simulated.
+    pub vectors: u64,
+    /// Vectors whose sampled output differed from the settled output.
+    pub erroneous: u64,
+    /// Total output bits that were wrong, across all vectors.
+    pub wrong_bits: u64,
+    /// Mean absolute numeric error of the sampled output word, interpreting
+    /// outputs as unsigned integers (capped at 64 bits).
+    pub mean_abs_error: f64,
+    /// Maximum absolute numeric error observed.
+    pub max_abs_error: u64,
+}
+
+impl ErrorStats {
+    /// Fraction of vectors with at least one wrong output bit, in `[0, 1]`.
+    pub fn error_rate(&self) -> f64 {
+        if self.vectors == 0 {
+            0.0
+        } else {
+            self.erroneous as f64 / self.vectors as f64
+        }
+    }
+
+    /// Error rate as a percentage, as reported in the paper's figures.
+    pub fn error_percent(&self) -> f64 {
+        self.error_rate() * 100.0
+    }
+}
+
+/// Clocks `netlist` at `clock_ps` with the given delay annotation and
+/// measures how often sampled outputs are wrong over `stimuli`.
+///
+/// Numeric error statistics are only meaningful for netlists whose outputs
+/// form one unsigned word (ports in LSB-first order), which holds for every
+/// generator in `aix-arith`; for wider outputs the word is truncated to the
+/// low 64 bits.
+///
+/// # Errors
+///
+/// Propagates simulator construction and width errors.
+pub fn measure_errors<I>(
+    netlist: &Netlist,
+    delays: &NetDelays,
+    clock_ps: f64,
+    stimuli: I,
+) -> Result<ErrorStats, NetlistError>
+where
+    I: IntoIterator<Item = Vec<bool>>,
+{
+    let mut sim = TimedSimulator::new(netlist, delays)?;
+    let mut stats = ErrorStats {
+        vectors: 0,
+        erroneous: 0,
+        wrong_bits: 0,
+        mean_abs_error: 0.0,
+        max_abs_error: 0,
+    };
+    let mut total_abs_error = 0.0f64;
+    for vector in stimuli {
+        let outcome = sim.step(&vector, clock_ps)?;
+        stats.vectors += 1;
+        if outcome.timing_error {
+            stats.erroneous += 1;
+            stats.wrong_bits += outcome
+                .sampled
+                .iter()
+                .zip(&outcome.settled)
+                .filter(|(s, g)| s != g)
+                .count() as u64;
+            let bits = outcome.sampled.len().min(64);
+            let sampled = bus_to_u64(&outcome.sampled[..bits]);
+            let settled = bus_to_u64(&outcome.settled[..bits]);
+            let err = sampled.abs_diff(settled);
+            total_abs_error += err as f64;
+            stats.max_abs_error = stats.max_abs_error.max(err);
+        }
+    }
+    if stats.vectors > 0 {
+        stats.mean_abs_error = total_abs_error / stats.vectors as f64;
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NormalOperands, OperandSource};
+    use aix_aging::{AgingModel, AgingScenario, Lifetime};
+    use aix_arith::{build_adder, AdderKind, ComponentSpec};
+    use aix_cells::Library;
+    use aix_sta::analyze;
+    use std::sync::Arc;
+
+    fn setup(width: usize) -> (Netlist, f64) {
+        // Kogge-Stone: a balanced tree whose paths sit near the critical
+        // path, so aging-induced violations are actually exercised.
+        let lib = Arc::new(Library::nangate45_like());
+        let nl = build_adder(&lib, AdderKind::KoggeStone, ComponentSpec::full(width)).unwrap();
+        let clock = analyze(&nl, &NetDelays::fresh(&nl)).unwrap().max_delay_ps();
+        (nl, clock)
+    }
+
+    #[test]
+    fn fresh_circuit_at_fresh_clock_is_error_free() {
+        let (nl, clock) = setup(12);
+        let stats = measure_errors(
+            &nl,
+            &NetDelays::fresh(&nl),
+            clock + 1e-6,
+            NormalOperands::new(12, 1).vectors(300),
+        )
+        .unwrap();
+        assert_eq!(stats.erroneous, 0);
+        assert_eq!(stats.error_rate(), 0.0);
+        assert_eq!(stats.vectors, 300);
+    }
+
+    #[test]
+    fn aged_circuit_at_fresh_clock_errs_and_grows_with_lifetime() {
+        let (nl, clock) = setup(32);
+        let model = AgingModel::calibrated();
+        let rate = |years: f64| {
+            let delays = NetDelays::aged(
+                &nl,
+                &model,
+                AgingScenario::worst_case(Lifetime::from_years(years)),
+            );
+            measure_errors(
+                &nl,
+                &delays,
+                clock,
+                NormalOperands::new(32, 2).vectors(2000),
+            )
+            .unwrap()
+            .error_rate()
+        };
+        let y1 = rate(1.0);
+        let y10 = rate(10.0);
+        assert!(y10 > 0.0, "10-year worst-case aging must produce errors");
+        assert!(y10 >= y1, "errors must not shrink with lifetime: {y1} vs {y10}");
+    }
+
+    #[test]
+    fn balanced_stress_errs_no_more_than_worst() {
+        let (nl, clock) = setup(16);
+        let model = AgingModel::calibrated();
+        let rate = |scenario| {
+            let delays = NetDelays::aged(&nl, &model, scenario);
+            measure_errors(
+                &nl,
+                &delays,
+                clock,
+                NormalOperands::new(16, 3).vectors(400),
+            )
+            .unwrap()
+            .error_rate()
+        };
+        let balanced = rate(AgingScenario::balanced(Lifetime::YEARS_10));
+        let worst = rate(AgingScenario::worst_case(Lifetime::YEARS_10));
+        assert!(balanced <= worst, "balanced {balanced} vs worst {worst}");
+    }
+
+    #[test]
+    fn error_magnitude_tracked() {
+        let (nl, clock) = setup(16);
+        let model = AgingModel::calibrated();
+        let delays = NetDelays::aged(
+            &nl,
+            &model,
+            AgingScenario::worst_case(Lifetime::YEARS_10),
+        );
+        let stats = measure_errors(
+            &nl,
+            &delays,
+            clock,
+            NormalOperands::new(16, 4).vectors(400),
+        )
+        .unwrap();
+        if stats.erroneous > 0 {
+            assert!(stats.wrong_bits >= stats.erroneous);
+            assert!(stats.max_abs_error > 0);
+            assert!(stats.mean_abs_error > 0.0);
+        }
+    }
+}

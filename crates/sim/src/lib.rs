@@ -1,0 +1,51 @@
+//! Gate-level simulation: timed (event-driven) and functional, plus the
+//! switching-activity and stress-factor extraction the paper's actual-case
+//! aging analysis is built on.
+//!
+//! Three capabilities live here:
+//!
+//! * [`TimedSimulator`] — an event-driven simulator with per-arc delays
+//!   (the Rust counterpart of gate-level simulation with an aged `.sdf`).
+//!   Outputs are sampled at the clock edge; paths that have not settled
+//!   yet produce exactly the nondeterministic timing errors the paper's
+//!   motivational study demonstrates.
+//! * [`ErrorStats`] / [`measure_errors`] — error-probability measurement of
+//!   a component clocked at its fresh frequency while its gates age
+//!   (reproduces Fig. 1).
+//! * [`Activity`] / [`stress_pairs`] — signal-probability extraction and
+//!   its conversion to per-gate (pMOS, nMOS) stress factors and stress
+//!   histograms (reproduces Fig. 5 and feeds actual-case STA).
+//!
+//! # Examples
+//!
+//! ```
+//! use aix_arith::{build_adder, AdderKind, ComponentSpec};
+//! use aix_cells::Library;
+//! use aix_netlist::bus_from_u64;
+//! use aix_sim::TimedSimulator;
+//! use aix_sta::NetDelays;
+//! use std::sync::Arc;
+//!
+//! let lib = Arc::new(Library::nangate45_like());
+//! let adder = build_adder(&lib, AdderKind::RippleCarry, ComponentSpec::full(8))?;
+//! let delays = NetDelays::fresh(&adder);
+//! let mut sim = TimedSimulator::new(&adder, &delays)?;
+//! let mut inputs = bus_from_u64(3, 8);
+//! inputs.extend(bus_from_u64(4, 8));
+//! // With a generous clock the sampled outputs equal the settled outputs.
+//! let out = sim.step(&inputs, 1e6)?;
+//! assert_eq!(out.sampled, out.settled);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod activity;
+mod errors;
+mod faults;
+mod stimuli;
+mod timed;
+
+pub use activity::{collect_timed_activity, stress_histogram, stress_pairs, Activity, StressHistogram};
+pub use errors::{measure_errors, ErrorStats};
+pub use faults::{full_fault_list, simulate_faults, FaultCoverage, StuckAtFault};
+pub use stimuli::{NormalOperands, OperandSource, SignedNormalOperands, UniformOperands, VectorStream};
+pub use timed::{StepOutcome, TimedSimulator};

@@ -1,0 +1,295 @@
+//! Per-net delay calculation, fresh and under aging.
+
+use aix_aging::{AgingModel, AgingScenario, CombinedAgingModel, Lifetime, StressPair};
+use aix_cells::DegradationAwareLibrary;
+use aix_netlist::{NetDriver, Netlist};
+
+/// Where each gate's stress comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StressSource {
+    /// Every gate under the same stress pair (worst-case / balanced /
+    /// uniform analyses).
+    Uniform(StressPair),
+    /// Per-gate stress pairs, indexed by gate id — the *actual case*,
+    /// extracted from simulated switching activity.
+    PerGate(Vec<StressPair>),
+}
+
+impl StressSource {
+    /// The stress pair for gate `gate_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a per-gate source is shorter than the gate count.
+    pub fn pair_for(&self, gate_index: usize) -> StressPair {
+        match self {
+            StressSource::Uniform(pair) => *pair,
+            StressSource::PerGate(pairs) => pairs[gate_index],
+        }
+    }
+}
+
+/// The propagation delay contributed by the driver of each net, in
+/// picoseconds. Primary inputs and constants contribute zero.
+///
+/// This is the "annotated netlist" of the paper's flow: fresh delays come
+/// from the original library, aged delays from scaling each arc by the
+/// degradation factor of its driving cell under that cell's stress.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetDelays {
+    delays_ps: Vec<f64>,
+}
+
+impl NetDelays {
+    /// Fresh (design-time) delays: the synthesis-library view.
+    pub fn fresh(netlist: &Netlist) -> Self {
+        Self::build(netlist, |_gate_index, _cell| 1.0)
+    }
+
+    /// Delays under a uniform aging scenario evaluated analytically from
+    /// `model`.
+    pub fn aged(netlist: &Netlist, model: &AgingModel, scenario: AgingScenario) -> Self {
+        match scenario {
+            AgingScenario::Fresh => Self::fresh(netlist),
+            AgingScenario::Aged { stress, lifetime } => Self::aged_with_stress(
+                netlist,
+                model,
+                &StressSource::Uniform(stress.stress_pair()),
+                lifetime,
+            ),
+        }
+    }
+
+    /// Delays under an arbitrary stress source (uniform or per-gate),
+    /// evaluated analytically from `model`. Cell-specific BTI sensitivity
+    /// is applied on top, as in the degradation-aware library.
+    pub fn aged_with_stress(
+        netlist: &Netlist,
+        model: &AgingModel,
+        stress: &StressSource,
+        lifetime: Lifetime,
+    ) -> Self {
+        // `build` applies the cell's BTI sensitivity via `aged_delay_ps`;
+        // the closure supplies the raw physics factor.
+        Self::build(netlist, |gate_index, _cell| {
+            model.pair_delay_factor(stress.pair_for(gate_index), lifetime)
+        })
+    }
+
+    /// Delays under the combined BTI + HCI model: duty-cycle stress per
+    /// gate plus per-net toggle rates (HCI damage accrues on transitions).
+    /// `toggle_rates` is indexed by net id, as produced by an
+    /// activity extraction; a gate's rate is the maximum over its outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `toggle_rates` is shorter than the net count.
+    pub fn aged_combined(
+        netlist: &Netlist,
+        model: &CombinedAgingModel,
+        stress: &StressSource,
+        toggle_rates: &[f64],
+        lifetime: Lifetime,
+    ) -> Self {
+        assert!(
+            toggle_rates.len() >= netlist.net_count(),
+            "toggle rates must cover every net"
+        );
+        let mut delays = vec![0.0; netlist.net_count()];
+        let loads = netlist.net_loads_ff();
+        for (id, net) in netlist.nets() {
+            if let NetDriver::Gate { gate, .. } = net.driver {
+                let g = netlist.gate(gate);
+                let cell = netlist.library().cell(g.cell);
+                let rate = g
+                    .outputs
+                    .iter()
+                    .map(|n| toggle_rates[n.index()])
+                    .fold(0.0f64, f64::max);
+                let base =
+                    model.delay_factor(stress.pair_for(gate.index()), rate, lifetime);
+                delays[id.index()] =
+                    cell.aged_delay_ps(loads[id.index()], base.max(1.0));
+            }
+        }
+        Self { delays_ps: delays }
+    }
+
+    /// Delays looked up from pre-generated degradation tables — the exact
+    /// artifact path of the paper (STA with the degradation-aware cell
+    /// library), including bilinear interpolation between grid points.
+    pub fn aged_from_tables(
+        netlist: &Netlist,
+        tables: &DegradationAwareLibrary,
+        stress: &StressSource,
+    ) -> Self {
+        let mut delays = vec![0.0; netlist.net_count()];
+        let loads = netlist.net_loads_ff();
+        for (id, net) in netlist.nets() {
+            if let NetDriver::Gate { gate, .. } = net.driver {
+                let g = netlist.gate(gate);
+                let cell = netlist.library().cell(g.cell);
+                let factor = tables.delay_factor(g.cell, stress.pair_for(gate.index()));
+                delays[id.index()] = cell.delay_ps(loads[id.index()]) * factor;
+            }
+        }
+        Self { delays_ps: delays }
+    }
+
+    fn build(netlist: &Netlist, factor: impl Fn(usize, &aix_cells::Cell) -> f64) -> Self {
+        let mut delays = vec![0.0; netlist.net_count()];
+        let loads = netlist.net_loads_ff();
+        for (id, net) in netlist.nets() {
+            if let NetDriver::Gate { gate, .. } = net.driver {
+                let g = netlist.gate(gate);
+                let cell = netlist.library().cell(g.cell);
+                delays[id.index()] =
+                    cell.aged_delay_ps(loads[id.index()], factor(gate.index(), cell).max(1.0));
+            }
+        }
+        Self { delays_ps: delays }
+    }
+
+    /// The delay contributed by the driver of net `net_index`.
+    pub fn of(&self, net_index: usize) -> f64 {
+        self.delays_ps[net_index]
+    }
+
+    /// All per-net delays (indexed by net id).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.delays_ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aix_aging::StressFactor;
+    use aix_arith::{build_adder, AdderKind, ComponentSpec};
+    use aix_cells::Library;
+    use std::sync::Arc;
+
+    fn adder() -> aix_netlist::Netlist {
+        let lib = Arc::new(Library::nangate45_like());
+        build_adder(&lib, AdderKind::RippleCarry, ComponentSpec::full(8)).unwrap()
+    }
+
+    #[test]
+    fn fresh_delays_zero_only_for_sources() {
+        let nl = adder();
+        let delays = NetDelays::fresh(&nl);
+        for (id, net) in nl.nets() {
+            let d = delays.of(id.index());
+            match net.driver {
+                aix_netlist::NetDriver::Gate { .. } => assert!(d > 0.0),
+                _ => assert_eq!(d, 0.0),
+            }
+        }
+    }
+
+    #[test]
+    fn aged_worst_case_scales_every_arc() {
+        let nl = adder();
+        let model = AgingModel::calibrated();
+        let fresh = NetDelays::fresh(&nl);
+        let aged = NetDelays::aged(
+            &nl,
+            &model,
+            AgingScenario::worst_case(Lifetime::YEARS_10),
+        );
+        for (id, net) in nl.nets() {
+            if matches!(net.driver, aix_netlist::NetDriver::Gate { .. }) {
+                let ratio = aged.of(id.index()) / fresh.of(id.index());
+                assert!(ratio > 1.1 && ratio < 1.3, "ratio {ratio}");
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_scenario_equals_fresh() {
+        let nl = adder();
+        let model = AgingModel::calibrated();
+        assert_eq!(
+            NetDelays::aged(&nl, &model, AgingScenario::Fresh),
+            NetDelays::fresh(&nl)
+        );
+    }
+
+    #[test]
+    fn table_lookup_close_to_analytic() {
+        let nl = adder();
+        let model = AgingModel::calibrated();
+        let tables =
+            DegradationAwareLibrary::generate(nl.library(), &model, Lifetime::YEARS_10);
+        let stress = StressSource::Uniform(StressPair::uniform(
+            StressFactor::new(0.63).unwrap(),
+        ));
+        let from_tables = NetDelays::aged_from_tables(&nl, &tables, &stress);
+        let analytic =
+            NetDelays::aged_with_stress(&nl, &model, &stress, Lifetime::YEARS_10);
+        for (id, net) in nl.nets() {
+            if matches!(net.driver, aix_netlist::NetDriver::Gate { .. }) {
+                let t = from_tables.of(id.index());
+                let a = analytic.of(id.index());
+                assert!((t - a).abs() / a < 0.01, "table {t} vs analytic {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn combined_model_adds_hci_on_top_of_bti() {
+        let nl = adder();
+        let bti = AgingModel::calibrated();
+        let combined = CombinedAgingModel::calibrated();
+        let stress = StressSource::Uniform(StressPair::BALANCED);
+        let bti_only =
+            NetDelays::aged_with_stress(&nl, &bti, &stress, Lifetime::YEARS_10);
+        let idle = NetDelays::aged_combined(
+            &nl,
+            &combined,
+            &stress,
+            &vec![0.0; nl.net_count()],
+            Lifetime::YEARS_10,
+        );
+        let busy = NetDelays::aged_combined(
+            &nl,
+            &combined,
+            &stress,
+            &vec![1.0; nl.net_count()],
+            Lifetime::YEARS_10,
+        );
+        for (id, net) in nl.nets() {
+            if matches!(net.driver, aix_netlist::NetDriver::Gate { .. }) {
+                let i = id.index();
+                assert!((idle.of(i) - bti_only.of(i)).abs() < 1e-9, "idle = BTI only");
+                assert!(busy.of(i) > idle.of(i), "toggling gates age faster");
+            }
+        }
+    }
+
+    #[test]
+    fn per_gate_stress_is_respected() {
+        let nl = adder();
+        let model = AgingModel::calibrated();
+        // All gates fresh except gate 0 at worst stress.
+        let mut pairs = vec![StressPair::default(); nl.gate_count()];
+        pairs[0] = StressPair::WORST;
+        let delays = NetDelays::aged_with_stress(
+            &nl,
+            &model,
+            &StressSource::PerGate(pairs),
+            Lifetime::YEARS_10,
+        );
+        let fresh = NetDelays::fresh(&nl);
+        for (id, net) in nl.nets() {
+            if let aix_netlist::NetDriver::Gate { gate, .. } = net.driver {
+                let ratio = delays.of(id.index()) / fresh.of(id.index());
+                if gate.index() == 0 {
+                    assert!(ratio > 1.1);
+                } else {
+                    assert!((ratio - 1.0).abs() < 1e-12);
+                }
+            }
+        }
+    }
+}

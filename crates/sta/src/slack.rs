@@ -1,0 +1,140 @@
+//! Clock constraints and slack arithmetic.
+
+use crate::TimingReport;
+use std::fmt;
+
+/// The timing constraint a design must meet over its lifetime: the clock
+/// period fixed at design time in the absence of aging
+/// (`t_clock = t_CP(noAging)` when the guardband is removed).
+///
+/// # Examples
+///
+/// ```
+/// use aix_sta::ClockConstraint;
+///
+/// let clk = ClockConstraint::from_period_ps(500.0);
+/// assert_eq!(clk.period_ps(), 500.0);
+/// assert!((clk.frequency_ghz() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct ClockConstraint {
+    period_ps: f64,
+}
+
+impl ClockConstraint {
+    /// A constraint with the given period in picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_ps` is not positive and finite.
+    pub fn from_period_ps(period_ps: f64) -> Self {
+        assert!(
+            period_ps.is_finite() && period_ps > 0.0,
+            "clock period must be positive, got {period_ps}"
+        );
+        Self { period_ps }
+    }
+
+    /// The constraint implied by clocking a design exactly at its fresh
+    /// critical-path delay — the paper's "guardband removed" operating point.
+    pub fn from_report(report: &TimingReport) -> Self {
+        Self::from_period_ps(report.max_delay_ps())
+    }
+
+    /// Clock period in picoseconds.
+    pub fn period_ps(self) -> f64 {
+        self.period_ps
+    }
+
+    /// Clock frequency in gigahertz.
+    pub fn frequency_ghz(self) -> f64 {
+        1000.0 / self.period_ps
+    }
+
+    /// Absolute slack of `report` against this constraint, in picoseconds.
+    /// Negative slack means timing violations will occur.
+    pub fn slack_ps(self, report: &TimingReport) -> f64 {
+        self.period_ps - report.max_delay_ps()
+    }
+
+    /// Relative slack `slack / t_clock`, the quantity the paper uses to
+    /// index its approximation library (e.g. −8.3 % for the IDCT multiplier
+    /// after 10 years of worst-case aging).
+    pub fn relative_slack(self, report: &TimingReport) -> f64 {
+        self.slack_ps(report) / self.period_ps
+    }
+
+    /// Whether `report` meets this constraint.
+    pub fn is_met_by(self, report: &TimingReport) -> bool {
+        self.slack_ps(report) >= 0.0
+    }
+
+    /// A constraint lengthened by an explicit guardband.
+    pub fn with_guardband_ps(self, guardband_ps: f64) -> Self {
+        Self::from_period_ps(self.period_ps + guardband_ps.max(0.0))
+    }
+}
+
+impl fmt::Display for ClockConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} ps ({:.3} GHz)",
+            self.period_ps,
+            self.frequency_ghz()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, NetDelays};
+    use aix_aging::{AgingModel, AgingScenario, Lifetime};
+    use aix_arith::{build_adder, AdderKind, ComponentSpec};
+    use aix_cells::Library;
+    use std::sync::Arc;
+
+    #[test]
+    fn slack_signs() {
+        let lib = Arc::new(Library::nangate45_like());
+        let nl = build_adder(&lib, AdderKind::CarrySelect, ComponentSpec::full(16)).unwrap();
+        let model = AgingModel::calibrated();
+        let fresh = analyze(&nl, &NetDelays::fresh(&nl)).unwrap();
+        let clk = ClockConstraint::from_report(&fresh);
+        assert!(clk.is_met_by(&fresh));
+        assert!(clk.slack_ps(&fresh).abs() < 1e-9);
+
+        let aged = analyze(
+            &nl,
+            &NetDelays::aged(&nl, &model, AgingScenario::worst_case(Lifetime::YEARS_10)),
+        )
+        .unwrap();
+        assert!(!clk.is_met_by(&aged));
+        assert!(clk.relative_slack(&aged) < -0.1);
+    }
+
+    #[test]
+    fn guardband_restores_timing() {
+        let lib = Arc::new(Library::nangate45_like());
+        let nl = build_adder(&lib, AdderKind::RippleCarry, ComponentSpec::full(8)).unwrap();
+        let model = AgingModel::calibrated();
+        let fresh = analyze(&nl, &NetDelays::fresh(&nl)).unwrap();
+        let aged = analyze(
+            &nl,
+            &NetDelays::aged(&nl, &model, AgingScenario::worst_case(Lifetime::YEARS_10)),
+        )
+        .unwrap();
+        let clk = ClockConstraint::from_report(&fresh);
+        let needed = aged.max_delay_ps() - fresh.max_delay_ps();
+        assert!(clk.with_guardband_ps(needed + 1e-9).is_met_by(&aged));
+        // A guardband costs frequency.
+        assert!(clk.with_guardband_ps(needed).frequency_ghz() < clk.frequency_ghz());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_period() {
+        let _ = ClockConstraint::from_period_ps(0.0);
+    }
+}

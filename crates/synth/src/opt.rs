@@ -1,0 +1,662 @@
+//! Netlist optimization: constant propagation and dead-gate sweeping.
+//!
+//! Together these implement "re-synthesis" of a truncated component: tying
+//! operand LSBs to constant zero lets [`constant_propagation`] fold and
+//! simplify the affected cone, and [`sweep_dead_gates`] removes everything
+//! no longer reachable from an output.
+
+use aix_cells::{CellFunction, DriveStrength};
+use aix_netlist::{NetDriver, NetId, Netlist, NetlistError};
+use std::collections::HashMap;
+
+/// A resolved signal source in the *old* netlist's id space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Resolved {
+    Const(bool),
+    Net(NetId),
+}
+
+impl Resolved {
+    fn constant(self) -> Option<bool> {
+        match self {
+            Resolved::Const(v) => Some(v),
+            Resolved::Net(_) => None,
+        }
+    }
+}
+
+/// What a single output pin of a simplified gate becomes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PinPlan {
+    /// The pin is a known constant.
+    Const(bool),
+    /// The pin aliases another signal.
+    Wire(Resolved),
+    /// The pin is computed by a (smaller) replacement gate.
+    Gate(CellFunction, Vec<Resolved>),
+}
+
+/// Simplification decision for a whole gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum GatePlan {
+    /// Instantiate the original cell unchanged (inputs resolved).
+    Keep,
+    /// Replace with per-pin plans.
+    Replace(Vec<PinPlan>),
+    /// Replace the whole gate with one (possibly multi-output) cell whose
+    /// outputs map onto the old outputs in pin order.
+    Rewrite(CellFunction, Vec<Resolved>),
+}
+
+/// Boolean simplification of `function` under partially constant inputs.
+fn simplify(function: CellFunction, ins: &[Resolved]) -> GatePlan {
+    use CellFunction as F;
+    use PinPlan as P;
+    let c = |i: usize| ins[i].constant();
+    // Fully constant gates fold outright.
+    if ins.iter().all(|r| r.constant().is_some()) {
+        let values: Vec<bool> = ins.iter().map(|r| r.constant().expect("checked")).collect();
+        let mut out = [false; aix_cells::MAX_OUTPUTS];
+        function.eval(&values, &mut out);
+        return GatePlan::Replace(
+            (0..function.output_count())
+                .map(|pin| P::Const(out[pin]))
+                .collect(),
+        );
+    }
+    // Binary commutative helpers: (constant, live other input).
+    let one_const2 = || -> Option<(bool, Resolved)> {
+        match (c(0), c(1)) {
+            (Some(v), None) => Some((v, ins[1])),
+            (None, Some(v)) => Some((v, ins[0])),
+            _ => None,
+        }
+    };
+    match function {
+        F::And2 => match one_const2() {
+            Some((false, _)) => GatePlan::Replace(vec![P::Const(false)]),
+            Some((true, x)) => GatePlan::Replace(vec![P::Wire(x)]),
+            None => GatePlan::Keep,
+        },
+        F::Or2 => match one_const2() {
+            Some((true, _)) => GatePlan::Replace(vec![P::Const(true)]),
+            Some((false, x)) => GatePlan::Replace(vec![P::Wire(x)]),
+            None => GatePlan::Keep,
+        },
+        F::Nand2 => match one_const2() {
+            Some((false, _)) => GatePlan::Replace(vec![P::Const(true)]),
+            Some((true, x)) => GatePlan::Replace(vec![P::Gate(F::Inv, vec![x])]),
+            None => GatePlan::Keep,
+        },
+        F::Nor2 => match one_const2() {
+            Some((true, _)) => GatePlan::Replace(vec![P::Const(false)]),
+            Some((false, x)) => GatePlan::Replace(vec![P::Gate(F::Inv, vec![x])]),
+            None => GatePlan::Keep,
+        },
+        F::Xor2 => match one_const2() {
+            Some((false, x)) => GatePlan::Replace(vec![P::Wire(x)]),
+            Some((true, x)) => GatePlan::Replace(vec![P::Gate(F::Inv, vec![x])]),
+            None => GatePlan::Keep,
+        },
+        F::Xnor2 => match one_const2() {
+            Some((true, x)) => GatePlan::Replace(vec![P::Wire(x)]),
+            Some((false, x)) => GatePlan::Replace(vec![P::Gate(F::Inv, vec![x])]),
+            None => GatePlan::Keep,
+        },
+        F::Nand3 => {
+            // !(a & b & c)
+            let consts: Vec<(usize, bool)> = (0..3).filter_map(|i| c(i).map(|v| (i, v))).collect();
+            if consts.iter().any(|&(_, v)| !v) {
+                return GatePlan::Replace(vec![P::Const(true)]);
+            }
+            if let Some(&(i, _)) = consts.first() {
+                let live: Vec<Resolved> =
+                    (0..3).filter(|&j| j != i).map(|j| ins[j]).collect();
+                return GatePlan::Replace(vec![P::Gate(F::Nand2, live)]);
+            }
+            GatePlan::Keep
+        }
+        F::Nor3 => {
+            let consts: Vec<(usize, bool)> = (0..3).filter_map(|i| c(i).map(|v| (i, v))).collect();
+            if consts.iter().any(|&(_, v)| v) {
+                return GatePlan::Replace(vec![P::Const(false)]);
+            }
+            if let Some(&(i, _)) = consts.first() {
+                let live: Vec<Resolved> =
+                    (0..3).filter(|&j| j != i).map(|j| ins[j]).collect();
+                return GatePlan::Replace(vec![P::Gate(F::Nor2, live)]);
+            }
+            GatePlan::Keep
+        }
+        F::Aoi21 => {
+            // !((a & b) | c)
+            match (c(0), c(1), c(2)) {
+                (_, _, Some(true)) => GatePlan::Replace(vec![P::Const(false)]),
+                (_, _, Some(false)) => {
+                    GatePlan::Replace(vec![P::Gate(F::Nand2, vec![ins[0], ins[1]])])
+                }
+                (Some(false), _, None) | (_, Some(false), None) => {
+                    GatePlan::Replace(vec![P::Gate(F::Inv, vec![ins[2]])])
+                }
+                (Some(true), None, None) => {
+                    GatePlan::Replace(vec![P::Gate(F::Nor2, vec![ins[1], ins[2]])])
+                }
+                (None, Some(true), None) => {
+                    GatePlan::Replace(vec![P::Gate(F::Nor2, vec![ins[0], ins[2]])])
+                }
+                _ => GatePlan::Keep,
+            }
+        }
+        F::Oai21 => {
+            // !((a | b) & c)
+            match (c(0), c(1), c(2)) {
+                (_, _, Some(false)) => GatePlan::Replace(vec![P::Const(true)]),
+                (_, _, Some(true)) => {
+                    GatePlan::Replace(vec![P::Gate(F::Nor2, vec![ins[0], ins[1]])])
+                }
+                (Some(true), _, None) | (_, Some(true), None) => {
+                    GatePlan::Replace(vec![P::Gate(F::Inv, vec![ins[2]])])
+                }
+                (Some(false), None, None) => {
+                    GatePlan::Replace(vec![P::Gate(F::Nand2, vec![ins[1], ins[2]])])
+                }
+                (None, Some(false), None) => {
+                    GatePlan::Replace(vec![P::Gate(F::Nand2, vec![ins[0], ins[2]])])
+                }
+                _ => GatePlan::Keep,
+            }
+        }
+        F::Mux2 => {
+            // mux(a, b, s) = s ? b : a
+            match c(2) {
+                Some(false) => GatePlan::Replace(vec![P::Wire(ins[0])]),
+                Some(true) => GatePlan::Replace(vec![P::Wire(ins[1])]),
+                None => {
+                    if ins[0] == ins[1] {
+                        GatePlan::Replace(vec![P::Wire(ins[0])])
+                    } else {
+                        GatePlan::Keep
+                    }
+                }
+            }
+        }
+        F::HalfAdder => {
+            // (sum, carry) = (a ^ b, a & b)
+            match one_const2() {
+                Some((false, x)) => GatePlan::Replace(vec![P::Wire(x), P::Const(false)]),
+                Some((true, x)) => {
+                    GatePlan::Replace(vec![P::Gate(F::Inv, vec![x]), P::Wire(x)])
+                }
+                None => GatePlan::Keep,
+            }
+        }
+        F::FullAdder => {
+            // (sum, carry) of a + b + c; reduce by one constant input.
+            let consts: Vec<(usize, bool)> = (0..3).filter_map(|i| c(i).map(|v| (i, v))).collect();
+            match consts.as_slice() {
+                [] => GatePlan::Keep,
+                [(i, v), ..] => {
+                    let live: Vec<Resolved> =
+                        (0..3).filter(|j| j != i).map(|j| ins[j]).collect();
+                    if consts.len() == 2 {
+                        // Two constants: fold to functions of the live input.
+                        let live_in = ins
+                            .iter()
+                            .enumerate()
+                            .find(|(j, _)| c(*j).is_none())
+                            .map(|(_, r)| *r)
+                            .expect("one live input");
+                        let const_sum = consts.iter().filter(|&&(_, v)| v).count();
+                        return match const_sum {
+                            0 => GatePlan::Replace(vec![P::Wire(live_in), P::Const(false)]),
+                            1 => GatePlan::Replace(vec![
+                                P::Gate(F::Inv, vec![live_in]),
+                                P::Wire(live_in),
+                            ]),
+                            _ => GatePlan::Replace(vec![P::Wire(live_in), P::Const(true)]),
+                        };
+                    }
+                    if *v {
+                        // a + b + 1: sum = XNOR(a, b), carry = OR(a, b).
+                        GatePlan::Replace(vec![
+                            P::Gate(F::Xnor2, live.clone()),
+                            P::Gate(F::Or2, live),
+                        ])
+                    } else {
+                        // a + b + 0: a half adder.
+                        GatePlan::Rewrite(F::HalfAdder, live)
+                    }
+                }
+            }
+        }
+        F::Inv | F::Buf | F::Dff => GatePlan::Keep,
+    }
+}
+
+/// Runs constant propagation over `netlist`, returning a functionally
+/// equivalent netlist in which constant-driven cones are folded and gates
+/// with partially constant inputs are replaced by smaller cells.
+///
+/// Primary input and output ports are preserved, including unused inputs.
+///
+/// # Errors
+///
+/// Propagates netlist construction errors; a validated input never fails.
+pub fn constant_propagation(netlist: &Netlist) -> Result<Netlist, NetlistError> {
+    let order = netlist.topological_order()?;
+    let mut resolution: Vec<Option<Resolved>> = vec![None; netlist.net_count()];
+    for (id, net) in netlist.nets() {
+        if let NetDriver::Constant(v) = net.driver {
+            resolution[id.index()] = Some(Resolved::Const(v));
+        }
+    }
+    let resolve = |resolution: &[Option<Resolved>], mut net: NetId| -> Resolved {
+        loop {
+            match resolution[net.index()] {
+                None => return Resolved::Net(net),
+                Some(Resolved::Const(v)) => return Resolved::Const(v),
+                Some(Resolved::Net(next)) => net = next,
+            }
+        }
+    };
+
+    let mut plans: Vec<GatePlan> = vec![GatePlan::Keep; netlist.gate_count()];
+    for &gate_id in &order {
+        let gate = netlist.gate(gate_id);
+        let function = netlist.library().cell(gate.cell).function;
+        let ins: Vec<Resolved> = gate
+            .inputs
+            .iter()
+            .map(|&n| resolve(&resolution, n))
+            .collect();
+        let plan = simplify(function, &ins);
+        if let GatePlan::Replace(pins) = &plan {
+            for (pin, action) in pins.iter().enumerate() {
+                let out = gate.outputs[pin];
+                match action {
+                    PinPlan::Const(v) => resolution[out.index()] = Some(Resolved::Const(*v)),
+                    PinPlan::Wire(r) => resolution[out.index()] = Some(*r),
+                    PinPlan::Gate(..) => {}
+                }
+            }
+        }
+        plans[gate_id.index()] = plan;
+    }
+
+    // Rebuild.
+    let library = netlist.library().clone();
+    let mut out = Netlist::new(netlist.name().to_owned(), library);
+    let mut net_map: HashMap<NetId, NetId> = HashMap::new();
+    for &input in netlist.inputs() {
+        let name = netlist
+            .net(input)
+            .name
+            .clone()
+            .unwrap_or_else(|| format!("in{}", input.index()));
+        net_map.insert(input, out.add_input(name));
+    }
+    // Maps a resolved old signal to a net in the new netlist.
+    fn map_resolved(
+        out: &mut Netlist,
+        net_map: &HashMap<NetId, NetId>,
+        r: Resolved,
+    ) -> NetId {
+        match r {
+            Resolved::Const(v) => out.constant(v),
+            Resolved::Net(n) => *net_map
+                .get(&n)
+                .expect("topological order maps drivers before readers"),
+        }
+    }
+    for &gate_id in &order {
+        let gate = netlist.gate(gate_id);
+        match &plans[gate_id.index()] {
+            GatePlan::Keep => {
+                let ins: Vec<NetId> = gate
+                    .inputs
+                    .iter()
+                    .map(|&n| {
+                        let r = resolve(&resolution, n);
+                        map_resolved(&mut out, &net_map, r)
+                    })
+                    .collect();
+                let new_outs = out.add_gate(gate.cell, &ins)?;
+                for (&old, &new) in gate.outputs.iter().zip(&new_outs) {
+                    net_map.insert(old, new);
+                }
+            }
+            GatePlan::Replace(pins) => {
+                for (pin, action) in pins.iter().enumerate() {
+                    if let PinPlan::Gate(function, rins) = action {
+                        let cell = netlist
+                            .library()
+                            .find(*function, DriveStrength::X1)
+                            .expect("library contains all functions at X1");
+                        let ins: Vec<NetId> = rins
+                            .iter()
+                            .map(|&r| map_resolved(&mut out, &net_map, r))
+                            .collect();
+                        let new_outs = out.add_gate(cell, &ins)?;
+                        net_map.insert(gate.outputs[pin], new_outs[0]);
+                    }
+                }
+            }
+            GatePlan::Rewrite(function, rins) => {
+                let cell = netlist
+                    .library()
+                    .find(*function, DriveStrength::X1)
+                    .expect("library contains all functions at X1");
+                let ins: Vec<NetId> = rins
+                    .iter()
+                    .map(|&r| map_resolved(&mut out, &net_map, r))
+                    .collect();
+                let new_outs = out.add_gate(cell, &ins)?;
+                for (&old, &new) in gate.outputs.iter().zip(&new_outs) {
+                    net_map.insert(old, new);
+                }
+            }
+        }
+    }
+    for (name, old_net) in netlist.outputs() {
+        let r = resolve(&resolution, *old_net);
+        let new_net = map_resolved(&mut out, &net_map, r);
+        out.mark_output(name.clone(), new_net);
+    }
+    Ok(out)
+}
+
+/// Removes every gate not transitively reachable from a primary output.
+///
+/// # Errors
+///
+/// Propagates netlist construction errors; a validated input never fails.
+pub fn sweep_dead_gates(netlist: &Netlist) -> Result<Netlist, NetlistError> {
+    let mut live = vec![false; netlist.gate_count()];
+    let mut stack: Vec<NetId> = netlist.output_nets();
+    while let Some(net) = stack.pop() {
+        if let NetDriver::Gate { gate, .. } = netlist.net(net).driver {
+            if !live[gate.index()] {
+                live[gate.index()] = true;
+                stack.extend(netlist.gate(gate).inputs.iter().copied());
+            }
+        }
+    }
+    let order = netlist.topological_order()?;
+    let library = netlist.library().clone();
+    let mut out = Netlist::new(netlist.name().to_owned(), library);
+    let mut net_map: HashMap<NetId, NetId> = HashMap::new();
+    for &input in netlist.inputs() {
+        let name = netlist
+            .net(input)
+            .name
+            .clone()
+            .unwrap_or_else(|| format!("in{}", input.index()));
+        net_map.insert(input, out.add_input(name));
+    }
+    for &gate_id in &order {
+        if !live[gate_id.index()] {
+            continue;
+        }
+        let gate = netlist.gate(gate_id);
+        let ins: Vec<NetId> = gate
+            .inputs
+            .iter()
+            .map(|&n| match netlist.net(n).driver {
+                NetDriver::Constant(v) => out.constant(v),
+                _ => *net_map.get(&n).expect("live fanin already mapped"),
+            })
+            .collect();
+        let new_outs = out.add_gate(gate.cell, &ins)?;
+        for (&old, &new) in gate.outputs.iter().zip(&new_outs) {
+            net_map.insert(old, new);
+        }
+    }
+    for (name, old_net) in netlist.outputs() {
+        let new_net = match netlist.net(*old_net).driver {
+            NetDriver::Constant(v) => out.constant(v),
+            _ => *net_map.get(old_net).expect("output driver is live"),
+        };
+        out.mark_output(name.clone(), new_net);
+    }
+    Ok(out)
+}
+
+/// Full cleanup: constant propagation followed by dead-gate sweeping.
+///
+/// # Errors
+///
+/// Propagates netlist construction errors; a validated input never fails.
+pub fn optimize(netlist: &Netlist) -> Result<Netlist, NetlistError> {
+    sweep_dead_gates(&constant_propagation(netlist)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aix_arith::{
+        build_adder, build_mac, build_multiplier, AdderKind, ComponentSpec, MultiplierKind,
+    };
+    use aix_cells::Library;
+    use aix_netlist::{bus_from_u64, bus_to_u64};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use std::sync::Arc;
+
+    fn lib() -> Arc<Library> {
+        Arc::new(Library::nangate45_like())
+    }
+
+    /// Optimized and original netlists must agree on random vectors.
+    fn assert_equivalent(original: &Netlist, optimized: &Netlist, samples: usize, seed: u64) {
+        assert_eq!(original.inputs().len(), optimized.inputs().len());
+        assert_eq!(original.outputs().len(), optimized.outputs().len());
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..samples {
+            let vector: Vec<bool> = (0..original.inputs().len())
+                .map(|_| rng.gen::<bool>())
+                .collect();
+            assert_eq!(
+                original.eval(&vector).unwrap(),
+                optimized.eval(&vector).unwrap(),
+                "mismatch on {vector:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_precision_component_loses_little() {
+        let lib = lib();
+        let nl = build_adder(&lib, AdderKind::CarrySelect, ComponentSpec::full(16)).unwrap();
+        let opt = optimize(&nl).unwrap();
+        opt.validate().unwrap();
+        // Only the constant-cin block boundaries simplify. A cin=1 full
+        // adder legitimately becomes two small cells, so gate count may
+        // tick up slightly — area must not grow.
+        assert!(opt.gate_count() <= nl.gate_count() + 4);
+        assert!(opt.gate_count() > nl.gate_count() / 2);
+        assert!(opt.stats().area_um2 <= nl.stats().area_um2);
+        assert_equivalent(&nl, &opt, 200, 1);
+    }
+
+    #[test]
+    fn truncated_adder_sheds_gates_proportionally() {
+        let lib = lib();
+        let full = optimize(
+            &build_adder(&lib, AdderKind::RippleCarry, ComponentSpec::full(32)).unwrap(),
+        )
+        .unwrap();
+        let cut = optimize(
+            &build_adder(
+                &lib,
+                AdderKind::RippleCarry,
+                ComponentSpec::new(32, 16).unwrap(),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        // Half the bits truncated: roughly half the full adders disappear.
+        assert!(
+            (cut.gate_count() as f64) < 0.7 * full.gate_count() as f64,
+            "cut {} vs full {}",
+            cut.gate_count(),
+            full.gate_count()
+        );
+        cut.validate().unwrap();
+    }
+
+    #[test]
+    fn truncated_multiplier_matches_reference_after_optimization() {
+        let lib = lib();
+        let spec = ComponentSpec::new(12, 8).unwrap();
+        for kind in MultiplierKind::ALL {
+            let nl = optimize(&build_multiplier(&lib, kind, spec).unwrap()).unwrap();
+            let mut rng = StdRng::seed_from_u64(5);
+            for _ in 0..100 {
+                let a = u64::from(rng.gen::<u16>() & 0xFFF);
+                let b = u64::from(rng.gen::<u16>() & 0xFFF);
+                let mut inputs = bus_from_u64(a, 12);
+                inputs.extend(bus_from_u64(b, 12));
+                let out = bus_to_u64(&nl.eval(&inputs).unwrap());
+                assert_eq!(out, spec.truncate(a) * spec.truncate(b), "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mac_equivalence_after_optimization() {
+        let lib = lib();
+        let nl = build_mac(&lib, ComponentSpec::new(8, 6).unwrap()).unwrap();
+        let opt = optimize(&nl).unwrap();
+        assert!(opt.gate_count() < nl.gate_count());
+        assert_equivalent(&nl, &opt, 300, 7);
+    }
+
+    #[test]
+    fn all_adder_architectures_survive_optimization() {
+        let lib = lib();
+        let spec = ComponentSpec::new(16, 9).unwrap();
+        for kind in AdderKind::ALL {
+            let nl = build_adder(&lib, kind, spec).unwrap();
+            let opt = optimize(&nl).unwrap();
+            opt.validate().unwrap();
+            assert_equivalent(&nl, &opt, 150, 11);
+            assert!(opt.gate_count() < nl.gate_count(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn fully_constant_circuit_folds_to_nothing() {
+        let lib = lib();
+        let and = lib.find(CellFunction::And2, DriveStrength::X1).unwrap();
+        let mut nl = Netlist::new("const", lib.clone());
+        let _unused = nl.add_input("a");
+        let zero = nl.constant(false);
+        let one = nl.constant(true);
+        let y = nl.add_gate(and, &[zero, one]).unwrap()[0];
+        nl.mark_output("y", y);
+        let opt = optimize(&nl).unwrap();
+        assert_eq!(opt.gate_count(), 0);
+        assert_eq!(opt.eval(&[true]).unwrap(), vec![false]);
+        // Unused input port is preserved.
+        assert_eq!(opt.inputs().len(), 1);
+    }
+
+    #[test]
+    fn dead_gate_sweep_removes_unobserved_logic() {
+        let lib = lib();
+        let inv = lib.find(CellFunction::Inv, DriveStrength::X1).unwrap();
+        let mut nl = Netlist::new("dead", lib.clone());
+        let a = nl.add_input("a");
+        let live = nl.add_gate(inv, &[a]).unwrap()[0];
+        let _dead = nl.add_gate(inv, &[a]).unwrap();
+        nl.mark_output("y", live);
+        let swept = sweep_dead_gates(&nl).unwrap();
+        assert_eq!(swept.gate_count(), 1);
+        assert_eq!(swept.eval(&[true]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn mux_with_constant_select_folds() {
+        let lib = lib();
+        let mux = lib.find(CellFunction::Mux2, DriveStrength::X1).unwrap();
+        let mut nl = Netlist::new("mux", lib.clone());
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let one = nl.constant(true);
+        let y = nl.add_gate(mux, &[a, b, one]).unwrap()[0];
+        nl.mark_output("y", y);
+        let opt = optimize(&nl).unwrap();
+        assert_eq!(opt.gate_count(), 0, "mux folds to a wire to b");
+        assert_eq!(opt.eval(&[false, true]).unwrap(), vec![true]);
+        assert_eq!(opt.eval(&[true, false]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn xor_with_constant_one_becomes_inverter() {
+        let lib = lib();
+        let xor = lib.find(CellFunction::Xor2, DriveStrength::X1).unwrap();
+        let mut nl = Netlist::new("xi", lib.clone());
+        let a = nl.add_input("a");
+        let one = nl.constant(true);
+        let y = nl.add_gate(xor, &[a, one]).unwrap()[0];
+        nl.mark_output("y", y);
+        let opt = optimize(&nl).unwrap();
+        assert_eq!(opt.gate_count(), 1);
+        let (_, g) = opt.gates().next().unwrap();
+        assert_eq!(opt.library().cell(g.cell).function, CellFunction::Inv);
+        assert_eq!(opt.eval(&[true]).unwrap(), vec![false]);
+    }
+
+    use aix_cells::{CellFunction, DriveStrength};
+    use aix_netlist::Netlist;
+
+    #[test]
+    fn exhaustive_simplification_equivalence_per_function() {
+        // For every cell function and every constant/live input pattern,
+        // the simplified netlist must match the original truth table.
+        let lib = lib();
+        for function in CellFunction::ALL {
+            if function.is_sequential() {
+                continue;
+            }
+            let n = function.input_count();
+            // Pattern: each input is live (0), const-false (1) or const-true (2).
+            for pattern in 0..3usize.pow(n as u32) {
+                let mut nl = Netlist::new("t", lib.clone());
+                let cell = lib.find(function, DriveStrength::X1).unwrap();
+                let mut live_inputs = Vec::new();
+                let mut ins = Vec::new();
+                let mut digits = pattern;
+                for i in 0..n {
+                    match digits % 3 {
+                        0 => {
+                            let inp = nl.add_input(format!("i{i}"));
+                            live_inputs.push(inp);
+                            ins.push(inp);
+                        }
+                        1 => ins.push(nl.constant(false)),
+                        _ => ins.push(nl.constant(true)),
+                    }
+                    digits /= 3;
+                }
+                if live_inputs.is_empty() {
+                    // Ensure at least one primary input exists for eval.
+                    let _ = nl.add_input("pad");
+                }
+                let outs = nl.add_gate(cell, &ins).unwrap();
+                for (pin, &o) in outs.iter().enumerate() {
+                    nl.mark_output(format!("o{pin}"), o);
+                }
+                let opt = optimize(&nl).unwrap();
+                let width = nl.inputs().len();
+                for bits in 0..1usize << width {
+                    let vector: Vec<bool> = (0..width).map(|i| bits >> i & 1 == 1).collect();
+                    assert_eq!(
+                        nl.eval(&vector).unwrap(),
+                        opt.eval(&vector).unwrap(),
+                        "{function} pattern {pattern} vector {bits:b}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Effort-driven component synthesis: architecture selection, cleanup and
+//! timing-driven sizing, composing the rest of the crate.
+
+use crate::{optimize, size_for_performance};
+use aix_arith::{build_adder, build_mac, build_multiplier, AdderKind, ComponentSpec, MultiplierKind};
+use aix_cells::Library;
+use aix_netlist::{Netlist, NetlistError};
+use aix_sta::NetDelays;
+use std::fmt;
+use std::sync::Arc;
+
+/// Synthesis effort, mirroring a commercial tool's effort knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Effort {
+    /// Smallest area: ripple/array structures, no sizing.
+    Area,
+    /// Balanced: lookahead/array structures, no sizing.
+    Medium,
+    /// Best performance (the paper's "ultra compile"): fast structures plus
+    /// timing-driven sizing.
+    #[default]
+    Ultra,
+}
+
+impl Effort {
+    /// All effort levels.
+    pub const ALL: [Effort; 3] = [Effort::Area, Effort::Medium, Effort::Ultra];
+
+    fn adder_kind(self) -> AdderKind {
+        match self {
+            Effort::Area => AdderKind::RippleCarry,
+            Effort::Medium => AdderKind::CarryLookahead,
+            Effort::Ultra => AdderKind::CarrySelect,
+        }
+    }
+
+    fn multiplier_kind(self) -> MultiplierKind {
+        match self {
+            Effort::Area | Effort::Medium => MultiplierKind::Array,
+            Effort::Ultra => MultiplierKind::Wallace,
+        }
+    }
+
+    fn sizing_iterations(self) -> usize {
+        match self {
+            Effort::Area | Effort::Medium => 0,
+            Effort::Ultra => 400,
+        }
+    }
+}
+
+impl fmt::Display for Effort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Effort::Area => write!(f, "area"),
+            Effort::Medium => write!(f, "medium"),
+            Effort::Ultra => write!(f, "ultra"),
+        }
+    }
+}
+
+/// Component synthesizer: maps arithmetic specifications to optimized,
+/// sized gate-level netlists over a cell library.
+///
+/// # Examples
+///
+/// ```
+/// use aix_arith::ComponentSpec;
+/// use aix_cells::Library;
+/// use aix_synth::{Effort, Synthesizer};
+/// use std::sync::Arc;
+///
+/// let synth = Synthesizer::new(Arc::new(Library::nangate45_like()), Effort::Medium);
+/// let mult = synth.multiplier(ComponentSpec::full(8))?;
+/// assert!(mult.gate_count() > 50);
+/// # Ok::<(), aix_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Synthesizer {
+    library: Arc<Library>,
+    effort: Effort,
+}
+
+impl Synthesizer {
+    /// Creates a synthesizer over `library` at the given effort.
+    pub fn new(library: Arc<Library>, effort: Effort) -> Self {
+        Self { library, effort }
+    }
+
+    /// The effort level in use.
+    pub fn effort(&self) -> Effort {
+        self.effort
+    }
+
+    /// The library mapped onto.
+    pub fn library(&self) -> &Arc<Library> {
+        &self.library
+    }
+
+    fn finish(&self, netlist: Netlist) -> Result<Netlist, NetlistError> {
+        let mut optimized = optimize(&netlist)?;
+        if self.effort.sizing_iterations() > 0 {
+            let sized = size_for_performance(
+                &mut optimized,
+                NetDelays::fresh,
+                self.effort.sizing_iterations(),
+            )?;
+            // Timing closure is followed by area recovery at the achieved
+            // constraint — this produces the slack wall characteristic of
+            // timing-closed netlists.
+            crate::recover_area(
+                &mut optimized,
+                NetDelays::fresh,
+                sized.final_delay_ps,
+                25,
+            )?;
+        }
+        optimized.validate()?;
+        Ok(optimized)
+    }
+
+    /// Synthesizes an adder.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors; well-formed specs never fail.
+    pub fn adder(&self, spec: ComponentSpec) -> Result<Netlist, NetlistError> {
+        self.finish(build_adder(&self.library, self.effort.adder_kind(), spec)?)
+    }
+
+    /// Synthesizes an adder with an explicit architecture override (used by
+    /// the architecture-ablation benches).
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors.
+    pub fn adder_with(
+        &self,
+        kind: AdderKind,
+        spec: ComponentSpec,
+    ) -> Result<Netlist, NetlistError> {
+        self.finish(build_adder(&self.library, kind, spec)?)
+    }
+
+    /// Synthesizes a multiplier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors.
+    pub fn multiplier(&self, spec: ComponentSpec) -> Result<Netlist, NetlistError> {
+        self.finish(build_multiplier(
+            &self.library,
+            self.effort.multiplier_kind(),
+            spec,
+        )?)
+    }
+
+    /// Synthesizes a multiplier with an explicit architecture override.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors.
+    pub fn multiplier_with(
+        &self,
+        kind: MultiplierKind,
+        spec: ComponentSpec,
+    ) -> Result<Netlist, NetlistError> {
+        self.finish(build_multiplier(&self.library, kind, spec)?)
+    }
+
+    /// Synthesizes a multiply-accumulate unit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors.
+    pub fn mac(&self, spec: ComponentSpec) -> Result<Netlist, NetlistError> {
+        self.finish(build_mac(&self.library, spec)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aix_netlist::{bus_from_u64, bus_to_u64};
+    use aix_sta::analyze;
+
+    fn lib() -> Arc<Library> {
+        Arc::new(Library::nangate45_like())
+    }
+
+    #[test]
+    fn effort_orders_adder_delay() {
+        let spec = ComponentSpec::full(16);
+        let delay = |effort| {
+            let nl = Synthesizer::new(lib(), effort).adder(spec).unwrap();
+            analyze(&nl, &NetDelays::fresh(&nl)).unwrap().max_delay_ps()
+        };
+        let area = delay(Effort::Area);
+        let ultra = delay(Effort::Ultra);
+        assert!(ultra < area, "ultra {ultra} must beat area {area}");
+    }
+
+    #[test]
+    fn effort_orders_adder_area() {
+        let spec = ComponentSpec::full(16);
+        let area_of = |effort| {
+            Synthesizer::new(lib(), effort)
+                .adder(spec)
+                .unwrap()
+                .stats()
+                .area_um2
+        };
+        assert!(area_of(Effort::Area) < area_of(Effort::Ultra));
+    }
+
+    #[test]
+    fn synthesized_components_compute_correctly() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let synth = Synthesizer::new(lib(), Effort::Ultra);
+        let mut rng = StdRng::seed_from_u64(31);
+        let adder = synth.adder(ComponentSpec::full(16)).unwrap();
+        let mult = synth.multiplier(ComponentSpec::full(12)).unwrap();
+        for _ in 0..50 {
+            let a = u64::from(rng.gen::<u16>());
+            let b = u64::from(rng.gen::<u16>());
+            let mut inputs = bus_from_u64(a, 16);
+            inputs.extend(bus_from_u64(b, 16));
+            assert_eq!(bus_to_u64(&adder.eval(&inputs).unwrap()), a + b);
+            let (a, b) = (a & 0xFFF, b & 0xFFF);
+            let mut inputs = bus_from_u64(a, 12);
+            inputs.extend(bus_from_u64(b, 12));
+            assert_eq!(bus_to_u64(&mult.eval(&inputs).unwrap()), a * b);
+        }
+    }
+
+    #[test]
+    fn truncation_shortens_synthesized_critical_path() {
+        let synth = Synthesizer::new(lib(), Effort::Ultra);
+        let full = synth.adder(ComponentSpec::full(32)).unwrap();
+        let cut = synth.adder(ComponentSpec::new(32, 22).unwrap()).unwrap();
+        let d_full = analyze(&full, &NetDelays::fresh(&full)).unwrap().max_delay_ps();
+        let d_cut = analyze(&cut, &NetDelays::fresh(&cut)).unwrap().max_delay_ps();
+        assert!(
+            d_cut < d_full * 0.93,
+            "10-bit truncation should buy >7% delay: {d_cut} vs {d_full}"
+        );
+    }
+
+    #[test]
+    fn mac_synthesis_correct_with_truncation() {
+        let synth = Synthesizer::new(lib(), Effort::Medium);
+        let spec = ComponentSpec::new(8, 5).unwrap();
+        let nl = synth.mac(spec).unwrap();
+        let (a, b, acc) = (0xABu64, 0xCDu64, 0x1234u64);
+        let mut inputs = bus_from_u64(a, 8);
+        inputs.extend(bus_from_u64(b, 8));
+        inputs.extend(bus_from_u64(acc, 16));
+        let expect = (spec.truncate(a) * spec.truncate(b) + acc) & 0xFFFF;
+        assert_eq!(bus_to_u64(&nl.eval(&inputs).unwrap()), expect);
+    }
+}

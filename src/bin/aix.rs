@@ -1,0 +1,328 @@
+//! `aix` — command-line driver for the aging-induced-approximations
+//! workspace: characterize components, run the microarchitecture flow,
+//! measure error rates and export EDA artifacts without writing any code.
+//!
+//! ```text
+//! aix characterize --kind adder --width 16 [--effort medium] [--out FILE]
+//! aix flow [--years 10] [--stress worst|balanced] [--library FILE]
+//! aix error-rate --kind adder --width 32 [--years 10] [--vectors 4000]
+//! aix quality --truncation 9 [--width 176 --height 144]
+//! aix export [--out-dir out]
+//! aix help
+//! ```
+
+use aix::aging::{AgingModel, AgingScenario, Lifetime};
+use aix::arith::ComponentSpec;
+use aix::cells::{degradation_to_text, to_liberty, DegradationAwareLibrary, Library};
+use aix::core::{
+    apply_aging_approximations, characterize_component, idct_design, ApproxLibrary,
+    CharacterizationConfig, ComponentKind,
+};
+use aix::dct::DatapathPrecision;
+use aix::netlist::{to_dot, to_verilog};
+use aix::sim::{measure_errors, OperandSource, SignedNormalOperands};
+use aix::sta::{analyze, to_sdf, NetDelays};
+use aix::synth::Effort;
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let options = parse_options(args);
+    let result = match command.as_str() {
+        "characterize" => characterize(&options),
+        "flow" => flow(&options),
+        "error-rate" => error_rate(&options),
+        "quality" => quality(&options),
+        "export" => export(&options),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(error) => {
+            eprintln!("aix: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: aix <command> [--key value ...]
+
+commands:
+  characterize  --kind adder|multiplier|mac --width N [--effort area|medium|ultra]
+                [--out FILE]      characterize a component and print/store the
+                                  aging-induced approximation library row
+  flow          [--years N] [--stress worst|balanced] [--library FILE]
+                                  run the Fig. 6 flow on the IDCT design
+  error-rate    --kind adder|multiplier --width N [--years N] [--vectors N]
+                                  measure timing-error probability at the fresh clock
+  quality       --truncation N [--width W --height H]
+                                  PSNR/SSIM of the test sequences at a datapath precision
+  export        [--out-dir DIR]   write Liberty, degradation tables, Verilog,
+                                  DOT and SDF artifacts
+  help                            show this message";
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn parse_options(args: impl Iterator<Item = String>) -> HashMap<String, String> {
+    let mut options = HashMap::new();
+    let mut key: Option<String> = None;
+    for arg in args {
+        if let Some(stripped) = arg.strip_prefix("--") {
+            if let Some(pending) = key.take() {
+                options.insert(pending, String::from("true"));
+            }
+            match stripped.split_once('=') {
+                Some((k, v)) => {
+                    options.insert(k.to_owned(), v.to_owned());
+                }
+                None => key = Some(stripped.to_owned()),
+            }
+        } else if let Some(pending) = key.take() {
+            options.insert(pending, arg);
+        }
+    }
+    if let Some(pending) = key.take() {
+        options.insert(pending, String::from("true"));
+    }
+    options
+}
+
+fn get<'o>(options: &'o HashMap<String, String>, key: &str) -> Option<&'o str> {
+    options.get(key).map(String::as_str)
+}
+
+fn parse_kind(options: &HashMap<String, String>) -> Result<ComponentKind, String> {
+    get(options, "kind")
+        .ok_or("--kind is required")?
+        .parse()
+        .map_err(|e| format!("{e}"))
+}
+
+fn parse_effort(options: &HashMap<String, String>) -> Result<Effort, String> {
+    match get(options, "effort").unwrap_or("ultra") {
+        "area" => Ok(Effort::Area),
+        "medium" => Ok(Effort::Medium),
+        "ultra" => Ok(Effort::Ultra),
+        other => Err(format!("unknown effort `{other}`")),
+    }
+}
+
+fn parse_scenario(options: &HashMap<String, String>) -> Result<AgingScenario, String> {
+    let years: f64 = get(options, "years")
+        .unwrap_or("10")
+        .parse()
+        .map_err(|_| "bad --years")?;
+    let lifetime = Lifetime::try_from_years(years).map_err(|e| e.to_string())?;
+    match get(options, "stress").unwrap_or("worst") {
+        "worst" => Ok(AgingScenario::worst_case(lifetime)),
+        "balanced" => Ok(AgingScenario::balanced(lifetime)),
+        other => Err(format!("unknown stress `{other}`")),
+    }
+}
+
+fn characterize(options: &HashMap<String, String>) -> CliResult {
+    let kind = parse_kind(options)?;
+    let width: usize = get(options, "width")
+        .ok_or("--width is required")?
+        .parse()
+        .map_err(|_| "bad --width")?;
+    let cells = Arc::new(Library::nangate45_like());
+    let mut config = CharacterizationConfig::paper_default(kind, width);
+    config.effort = parse_effort(options)?;
+    let characterization = characterize_component(&cells, &config)?;
+    let mut library = ApproxLibrary::new();
+    library.insert(characterization);
+    let text = library.to_text();
+    if let Some(path) = get(options, "out") {
+        std::fs::write(path, &text)?;
+        println!("written to {path}");
+    } else {
+        print!("{text}");
+    }
+    let characterization = library.get(kind, width).expect("just inserted");
+    for scenario in [
+        AgingScenario::worst_case(Lifetime::YEARS_1),
+        AgingScenario::worst_case(Lifetime::YEARS_10),
+    ] {
+        match characterization.required_precision(scenario) {
+            Some(p) => println!(
+                "# Eq. 2 under {scenario}: precision {p}b ({} bits truncated)",
+                width - p
+            ),
+            None => println!("# Eq. 2 under {scenario}: not compensable"),
+        }
+    }
+    Ok(())
+}
+
+fn flow(options: &HashMap<String, String>) -> CliResult {
+    let scenario = parse_scenario(options)?;
+    let cells = Arc::new(Library::nangate45_like());
+    let model = AgingModel::calibrated();
+    let library = match get(options, "library") {
+        Some(path) => ApproxLibrary::from_text(&std::fs::read_to_string(path)?)?,
+        None => {
+            eprintln!("(no --library given: characterizing the IDCT components, ~minutes)");
+            let mut library = ApproxLibrary::new();
+            for (kind, width) in [
+                (ComponentKind::Multiplier, 32),
+                (ComponentKind::Adder, 32),
+                (ComponentKind::Adder, 16),
+            ] {
+                library.insert(characterize_component(
+                    &cells,
+                    &CharacterizationConfig::paper_default(kind, width),
+                )?);
+            }
+            library
+        }
+    };
+    let design = idct_design(&cells, Effort::Ultra)?;
+    let plan = apply_aging_approximations(&design, &library, &model, scenario)?;
+    println!(
+        "design `{}` constraint {:.1} ps under {scenario}:",
+        design.name(),
+        plan.constraint_ps
+    );
+    for block in &plan.blocks {
+        println!(
+            "  {:<12} aged {:>7.1} ps  slack {:>+6.1}%  -> precision {}b (-{} bits)",
+            block.name,
+            block.aged_delay_ps,
+            block.relative_slack * 100.0,
+            block.precision,
+            block.truncated_bits()
+        );
+    }
+    let validation = plan.validate(&cells, design.effort(), &model)?;
+    println!(
+        "validation: timing {}",
+        if validation.timing_met { "MET" } else { "VIOLATED" }
+    );
+    Ok(())
+}
+
+fn error_rate(options: &HashMap<String, String>) -> CliResult {
+    let kind = parse_kind(options)?;
+    let width: usize = get(options, "width")
+        .unwrap_or("32")
+        .parse()
+        .map_err(|_| "bad --width")?;
+    let vectors: usize = get(options, "vectors")
+        .unwrap_or("4000")
+        .parse()
+        .map_err(|_| "bad --vectors")?;
+    let scenario = parse_scenario(options)?;
+    let cells = Arc::new(Library::nangate45_like());
+    let model = AgingModel::calibrated();
+    let netlist = kind.synthesize(&cells, ComponentSpec::full(width), parse_effort(options)?)?;
+    let clock = analyze(&netlist, &NetDelays::fresh(&netlist))?.max_delay_ps();
+    let aged = NetDelays::aged(&netlist, &model, scenario);
+    let padding = netlist.inputs().len() - 2 * width;
+    let stats = measure_errors(
+        &netlist,
+        &aged,
+        clock,
+        SignedNormalOperands::for_width(width, 1).vectors_with_zeros(vectors, padding),
+    )?;
+    println!(
+        "{kind}-{width} at fresh clock {clock:.1} ps under {scenario}: \
+         {:.2}% erroneous outputs ({} of {} vectors, mean |error| {:.1})",
+        stats.error_percent(),
+        stats.erroneous,
+        stats.vectors,
+        stats.mean_abs_error
+    );
+    Ok(())
+}
+
+fn quality(options: &HashMap<String, String>) -> CliResult {
+    let truncation: u32 = get(options, "truncation")
+        .ok_or("--truncation is required")?
+        .parse()
+        .map_err(|_| "bad --truncation")?;
+    let width: usize = get(options, "width")
+        .unwrap_or("176")
+        .parse()
+        .map_err(|_| "bad --width")?;
+    let height: usize = get(options, "height")
+        .unwrap_or("144")
+        .parse()
+        .map_err(|_| "bad --height")?;
+    let results = aix::core::evaluate_sequences(
+        DatapathPrecision::new(truncation, 0),
+        width,
+        height,
+    );
+    println!("{:<10} {:>10} {:>10} {:>8}", "sequence", "PSNR [dB]", "exact", "SSIM");
+    for r in &results {
+        println!(
+            "{:<10} {:>10.1} {:>10.1} {:>8.3}",
+            r.sequence.label(),
+            r.psnr_db,
+            r.exact_psnr_db,
+            r.ssim
+        );
+    }
+    println!(
+        "{:<10} {:>10.1}",
+        "average",
+        aix::core::average_psnr_db(&results)
+    );
+    Ok(())
+}
+
+fn export(options: &HashMap<String, String>) -> CliResult {
+    let dir = get(options, "out-dir").unwrap_or("out");
+    std::fs::create_dir_all(dir)?;
+    let cells = Arc::new(Library::nangate45_like());
+    let model = AgingModel::calibrated();
+    std::fs::write(format!("{dir}/aix_45nm.lib"), to_liberty(&cells))?;
+    let aged = DegradationAwareLibrary::generate(&cells, &model, Lifetime::YEARS_10);
+    std::fs::write(
+        format!("{dir}/aix_45nm_aged10y.tbl"),
+        degradation_to_text(&cells, &aged),
+    )?;
+    let adder = ComponentKind::Adder.synthesize(&cells, ComponentSpec::full(16), Effort::Ultra)?;
+    std::fs::write(format!("{dir}/adder16_ultra.v"), to_verilog(&adder))?;
+    std::fs::write(format!("{dir}/adder16_ultra.dot"), to_dot(&adder))?;
+    std::fs::write(
+        format!("{dir}/adder16_ultra_fresh.sdf"),
+        to_sdf(&adder, &NetDelays::fresh(&adder), "fresh"),
+    )?;
+    std::fs::write(
+        format!("{dir}/adder16_ultra_aged10y.sdf"),
+        to_sdf(
+            &adder,
+            &NetDelays::aged(
+                &adder,
+                &model,
+                AgingScenario::worst_case(Lifetime::YEARS_10),
+            ),
+            "aged-10y-worst",
+        ),
+    )?;
+    println!("artifacts written to {dir}/");
+    for name in [
+        "aix_45nm.lib",
+        "aix_45nm_aged10y.tbl",
+        "adder16_ultra.v",
+        "adder16_ultra.dot",
+        "adder16_ultra_fresh.sdf",
+        "adder16_ultra_aged10y.sdf",
+    ] {
+        println!("  {dir}/{name}");
+    }
+    Ok(())
+}

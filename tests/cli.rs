@@ -1,0 +1,96 @@
+//! End-to-end tests of the `aix` command-line tool: spawn the real binary
+//! and check its observable behaviour.
+
+use std::process::Command;
+
+fn aix() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_aix"))
+}
+
+#[test]
+fn help_lists_every_command() {
+    let output = aix().arg("help").output().expect("spawn aix");
+    assert!(output.status.success());
+    let text = String::from_utf8_lossy(&output.stdout);
+    for command in ["characterize", "flow", "error-rate", "quality", "export"] {
+        assert!(text.contains(command), "help must mention `{command}`");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let output = aix().arg("frobnicate").output().expect("spawn aix");
+    assert!(!output.status.success());
+    let text = String::from_utf8_lossy(&output.stderr);
+    assert!(text.contains("unknown command"));
+    assert!(text.contains("usage:"));
+}
+
+#[test]
+fn characterize_emits_a_parseable_library() {
+    let dir = std::env::temp_dir().join("aix-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let out = dir.join("adder8.txt");
+    let output = aix()
+        .args([
+            "characterize",
+            "--kind",
+            "adder",
+            "--width",
+            "8",
+            "--effort",
+            "medium",
+            "--out",
+        ])
+        .arg(&out)
+        .output()
+        .expect("spawn aix");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let text = std::fs::read_to_string(&out).expect("library written");
+    let library = aix::core::ApproxLibrary::from_text(&text).expect("parseable artifact");
+    assert!(library
+        .get(aix::core::ComponentKind::Adder, 8)
+        .is_some());
+    // The summary lines report Eq. 2 outcomes.
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("Eq. 2"));
+}
+
+#[test]
+fn missing_required_flag_is_a_clean_error() {
+    let output = aix().args(["characterize"]).output().expect("spawn aix");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("--kind is required"));
+}
+
+#[test]
+fn error_rate_reports_percentage() {
+    let output = aix()
+        .args([
+            "error-rate",
+            "--kind",
+            "adder",
+            "--width",
+            "12",
+            "--effort",
+            "medium",
+            "--vectors",
+            "200",
+            "--years",
+            "10",
+        ])
+        .output()
+        .expect("spawn aix");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("erroneous outputs"));
+    assert!(stdout.contains("10y(WC)"));
+}
