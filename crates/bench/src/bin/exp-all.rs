@@ -2,9 +2,11 @@
 
 use aix_bench::experiments;
 
+type Experiment = fn(&aix_bench::Options) -> String;
+
 fn main() {
     let options = aix_bench::Options::from_env();
-    let runs: [(&str, fn(&aix_bench::Options) -> String); 11] = [
+    let runs: [(&str, Experiment); 11] = [
         ("fig1", experiments::fig1::run),
         ("fig2", experiments::fig2::run),
         ("fig4", experiments::fig4::run),

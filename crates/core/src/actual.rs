@@ -67,7 +67,7 @@ impl ActualCaseStress {
                 .map(|(a, b)| {
                     let mut v = bus_from_u64(a, operand_width);
                     v.extend(bus_from_u64(b, operand_width));
-                    v.extend(std::iter::repeat(false).take(padding));
+                    v.extend(std::iter::repeat_n(false, padding));
                     v
                 })
                 .collect(),

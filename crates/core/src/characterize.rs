@@ -1,7 +1,7 @@
 //! Component characterization: relating precision to delay under aging
 //! (paper Fig. 3, Fig. 4 and Fig. 7).
 
-use crate::ComponentKind;
+use crate::{AixError, ComponentKind};
 use aix_aging::{AgingModel, AgingScenario, Lifetime};
 use aix_arith::ComponentSpec;
 use aix_cells::Library;
@@ -319,11 +319,12 @@ fn scenario_eq(a: CharacterizationScenario, b: CharacterizationScenario) -> bool
 ///
 /// # Errors
 ///
-/// Propagates synthesis/STA errors and invalid precision specs.
+/// Propagates synthesis/STA errors and invalid precision specs as
+/// [`AixError`].
 pub fn characterize_component(
     library: &Arc<Library>,
     config: &CharacterizationConfig,
-) -> Result<ComponentCharacterization, Box<dyn std::error::Error>> {
+) -> Result<ComponentCharacterization, AixError> {
     let model = AgingModel::calibrated();
     let mut characterization =
         ComponentCharacterization::new(config.kind, config.width, config.effort);

@@ -46,6 +46,7 @@
 mod actual;
 mod characterize;
 mod component;
+mod error;
 mod idct;
 mod library;
 mod microarch;
@@ -58,7 +59,8 @@ pub use characterize::{
     characterize_component, CharacterizationConfig, CharacterizationEntry,
     CharacterizationScenario, ComponentCharacterization,
 };
-pub use component::ComponentKind;
+pub use component::{ComponentKind, ParseComponentKindError};
+pub use error::AixError;
 pub use idct::{idct_design, IDCT_BLOCK_NAMES};
 pub use library::{ApproxLibrary, ParseLibraryError};
 pub use microarch::{

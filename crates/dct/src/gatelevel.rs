@@ -284,7 +284,7 @@ fn build_mac_netlist(library: &Arc<Library>, mult_truncation: u32) -> Result<Net
     let extend = |bus: &[aix_netlist::NetId]| -> Vec<aix_netlist::NetId> {
         let mut wide = bus.to_vec();
         let sign = *bus.last().expect("non-empty operand bus");
-        wide.extend(std::iter::repeat(sign).take(ACC_WIDTH - WIDTH));
+        wide.extend(std::iter::repeat_n(sign, ACC_WIDTH - WIDTH));
         wide
     };
     let product = multiply_into(&mut nl, MultiplierKind::Wallace, &extend(&at), &extend(&bt))?;

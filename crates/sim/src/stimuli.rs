@@ -60,7 +60,7 @@ impl<S: OperandSource> Iterator for VectorStream<S> {
         let width = self.source.width();
         let mut v = bus_from_u64(a, width);
         v.extend(bus_from_u64(b, width));
-        v.extend(std::iter::repeat(false).take(self.extra_bits));
+        v.extend(std::iter::repeat_n(false, self.extra_bits));
         Some(v)
     }
 
@@ -108,7 +108,7 @@ impl NormalOperands {
     ///
     /// Panics if `width` is zero or exceeds 63, or `std_dev` is negative.
     pub fn with_parameters(width: usize, mean: f64, std_dev: f64, seed: u64) -> Self {
-        assert!(width >= 1 && width <= 63, "width must be in 1..=63");
+        assert!((1..=63).contains(&width), "width must be in 1..=63");
         assert!(std_dev >= 0.0, "standard deviation must be non-negative");
         Self {
             width,
@@ -177,7 +177,7 @@ impl SignedNormalOperands {
     ///
     /// Panics if `width` is zero or exceeds 63, or `std_dev` is negative.
     pub fn new(width: usize, std_dev: f64, seed: u64) -> Self {
-        assert!(width >= 1 && width <= 63, "width must be in 1..=63");
+        assert!((1..=63).contains(&width), "width must be in 1..=63");
         assert!(std_dev >= 0.0, "standard deviation must be non-negative");
         Self {
             width,
@@ -236,7 +236,7 @@ impl UniformOperands {
     ///
     /// Panics if `width` is zero or exceeds 64.
     pub fn new(width: usize, seed: u64) -> Self {
-        assert!(width >= 1 && width <= 64, "width must be in 1..=64");
+        assert!((1..=64).contains(&width), "width must be in 1..=64");
         Self {
             width,
             rng: StdRng::seed_from_u64(seed),

@@ -1,0 +1,73 @@
+//! Edge cases of the error-measurement and fault-simulation campaigns:
+//! empty stimulus sets, empty fault lists, and fully detectable faults.
+
+use aix_arith::{build_adder, AdderKind, ComponentSpec};
+use aix_cells::Library;
+use aix_netlist::Netlist;
+use aix_sim::{
+    full_fault_list, measure_errors, simulate_faults, OperandSource, StuckAtFault,
+    UniformOperands,
+};
+use aix_sta::NetDelays;
+use std::sync::Arc;
+
+fn adder(width: usize) -> Netlist {
+    let lib = Arc::new(Library::nangate45_like());
+    build_adder(&lib, AdderKind::RippleCarry, ComponentSpec::full(width)).unwrap()
+}
+
+#[test]
+fn zero_vectors_yield_zero_error_rate_not_nan() {
+    let nl = adder(8);
+    let stats = measure_errors(
+        &nl,
+        &NetDelays::fresh(&nl),
+        1.0, // absurdly tight clock: every vector would err, but none run
+        std::iter::empty(),
+    )
+    .unwrap();
+    assert_eq!(stats.vectors, 0);
+    assert_eq!(stats.erroneous, 0);
+    assert_eq!(stats.error_rate(), 0.0, "no division by zero");
+    assert_eq!(stats.error_percent(), 0.0);
+    assert_eq!(stats.mean_abs_error, 0.0);
+}
+
+#[test]
+fn zero_fault_sites_count_as_full_coverage() {
+    let nl = adder(4);
+    let stimuli: Vec<Vec<bool>> = UniformOperands::new(4, 1).vectors(8).collect();
+    let coverage = simulate_faults(&nl, &[], &stimuli).unwrap();
+    assert_eq!(coverage.detected().len(), 0);
+    assert_eq!(coverage.undetected().len(), 0);
+    assert_eq!(coverage.coverage(), 1.0, "vacuous truth, not NaN");
+    assert_eq!(coverage.vector_count(), 8);
+}
+
+#[test]
+fn zero_vectors_detect_no_faults() {
+    let nl = adder(4);
+    let faults = full_fault_list(&nl);
+    let coverage = simulate_faults(&nl, &faults, &[]).unwrap();
+    assert_eq!(coverage.detected().len(), 0);
+    assert_eq!(coverage.undetected().len(), faults.len());
+    assert_eq!(coverage.coverage(), 0.0);
+    assert_eq!(coverage.vector_count(), 0);
+}
+
+#[test]
+fn all_detected_reports_exactly_one() {
+    // Faults on output nets flip an output directly, so a handful of
+    // uniform vectors detects every one of them.
+    let nl = adder(4);
+    let faults: Vec<StuckAtFault> = nl
+        .output_nets()
+        .into_iter()
+        .flat_map(|net| [false, true].map(|value| StuckAtFault { net, value }))
+        .collect();
+    let stimuli: Vec<Vec<bool>> = UniformOperands::new(4, 2).vectors(64).collect();
+    let coverage = simulate_faults(&nl, &faults, &stimuli).unwrap();
+    assert_eq!(coverage.coverage(), 1.0);
+    assert_eq!(coverage.detected().len(), faults.len());
+    assert!(coverage.undetected().is_empty());
+}

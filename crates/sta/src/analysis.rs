@@ -101,22 +101,17 @@ pub fn critical_path(
     };
     let mut path = Vec::new();
     let mut net = netlist.outputs()[out_idx].1;
-    loop {
-        match netlist.net(net).driver {
-            NetDriver::Gate { gate, .. } => {
-                path.push(gate);
-                let g = netlist.gate(gate);
-                let Some(&next) = g.inputs.iter().max_by(|a, b| {
-                    report.arrival_ps[a.index()]
-                        .partial_cmp(&report.arrival_ps[b.index()])
-                        .expect("arrival times are finite")
-                }) else {
-                    break;
-                };
-                net = next;
-            }
-            _ => break,
-        }
+    while let NetDriver::Gate { gate, .. } = netlist.net(net).driver {
+        path.push(gate);
+        let g = netlist.gate(gate);
+        let Some(&next) = g.inputs.iter().max_by(|a, b| {
+            report.arrival_ps[a.index()]
+                .partial_cmp(&report.arrival_ps[b.index()])
+                .expect("arrival times are finite")
+        }) else {
+            break;
+        };
+        net = next;
     }
     let _ = delays;
     path.reverse();

@@ -150,6 +150,27 @@ impl NetDelays {
         Self { delays_ps: delays }
     }
 
+    /// Builds an annotation directly from per-net delays (indexed by net
+    /// id). Used by verification layers that derate or fault existing
+    /// annotations; normal flows should prefer the `fresh`/`aged`
+    /// constructors.
+    pub fn from_raw(delays_ps: Vec<f64>) -> Self {
+        Self { delays_ps }
+    }
+
+    /// A copy with every gate-driven net's delay multiplied by
+    /// `factor(gate_index)` — the hook Monte-Carlo derating and delay-fault
+    /// injection build on. Primary inputs and constants stay at zero.
+    pub fn scaled_by_gate(&self, netlist: &Netlist, factor: impl Fn(usize) -> f64) -> Self {
+        let mut delays = self.delays_ps.clone();
+        for (id, net) in netlist.nets() {
+            if let NetDriver::Gate { gate, .. } = net.driver {
+                delays[id.index()] *= factor(gate.index());
+            }
+        }
+        Self { delays_ps: delays }
+    }
+
     /// The delay contributed by the driver of net `net_index`.
     pub fn of(&self, net_index: usize) -> f64 {
         self.delays_ps[net_index]

@@ -1,0 +1,283 @@
+//! Fault injection: how observable are guarantee violations?
+//!
+//! Two complementary campaigns measure whether a violation of the Eq. 2
+//! guarantee would actually be *seen* in silicon:
+//!
+//! * **Delay faults** — one gate's delay multiplied by a fault factor
+//!   (modelling a locally over-aged or resistive-open device). Each fault
+//!   is screened by STA against the timing constraint, and the violating
+//!   ones are clocked through the timed simulator to measure the output
+//!   error rate they cause.
+//! * **Stuck-at faults** — the classic structural view, reusing
+//!   [`aix_sim::simulate_faults`]: which of the library's stimulus vectors
+//!   propagate a stuck net to an output at all.
+
+use aix_core::AixError;
+use aix_netlist::Netlist;
+use aix_sim::{
+    full_fault_list, measure_errors, simulate_faults, FaultCoverage, OperandSource,
+    UniformOperands,
+};
+use aix_sta::{analyze, NetDelays};
+use std::fmt::Write as _;
+
+/// A single-gate delay fault: the gate's propagation delay multiplied by
+/// `factor` (> 1 slows the gate down).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayFault {
+    /// Index of the faulty gate.
+    pub gate: usize,
+    /// Multiplicative delay factor.
+    pub factor: f64,
+}
+
+impl DelayFault {
+    /// Applies the fault to a delay annotation.
+    pub fn apply(&self, netlist: &Netlist, base: &NetDelays) -> NetDelays {
+        base.scaled_by_gate(netlist, |gate| if gate == self.gate { self.factor } else { 1.0 })
+    }
+}
+
+/// The outcome of injecting one delay fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayFaultOutcome {
+    /// The injected fault.
+    pub fault: DelayFault,
+    /// Critical-path delay with the fault present, in ps.
+    pub faulty_delay_ps: f64,
+    /// Whether STA flags a constraint violation.
+    pub violates_timing: bool,
+    /// Output error rate under timed simulation at the constraint clock
+    /// (`None` when the fault keeps timing and no simulation ran).
+    pub observed_error_rate: Option<f64>,
+}
+
+/// Aggregate result of a delay-fault campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayFaultReport {
+    /// Fault factor applied to every site.
+    pub factor: f64,
+    /// The timing constraint faults were screened against, in ps.
+    pub constraint_ps: f64,
+    /// Per-fault outcomes, in gate order.
+    pub outcomes: Vec<DelayFaultOutcome>,
+}
+
+impl DelayFaultReport {
+    /// Faults that break the constraint per STA.
+    pub fn violating(&self) -> impl Iterator<Item = &DelayFaultOutcome> {
+        self.outcomes.iter().filter(|o| o.violates_timing)
+    }
+
+    /// Fraction of STA-violating faults that also produced at least one
+    /// wrong output in simulation — how *observable* guarantee violations
+    /// are. `None` when no fault violates timing.
+    pub fn observability(&self) -> Option<f64> {
+        let violating: Vec<_> = self.violating().collect();
+        if violating.is_empty() {
+            return None;
+        }
+        let observed = violating
+            .iter()
+            .filter(|o| o.observed_error_rate.is_some_and(|r| r > 0.0))
+            .count();
+        Some(observed as f64 / violating.len() as f64)
+    }
+
+    /// Deterministic human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let violating = self.violating().count();
+        let _ = writeln!(
+            out,
+            "delay-fault campaign: {} sites × factor {:.2} against {:.1} ps",
+            self.outcomes.len(),
+            self.factor,
+            self.constraint_ps
+        );
+        let _ = writeln!(
+            out,
+            "  {} faults violate timing per STA ({:.1}% of sites)",
+            violating,
+            100.0 * violating as f64 / self.outcomes.len().max(1) as f64
+        );
+        match self.observability() {
+            Some(obs) => {
+                let _ = writeln!(
+                    out,
+                    "  {:.1}% of violating faults are observable at the outputs",
+                    obs * 100.0
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  no fault violates timing at this factor");
+            }
+        }
+        out
+    }
+}
+
+/// Injects a delay fault of the given `factor` at every gate of `netlist`
+/// on top of the delay annotation `base`, screens each against
+/// `constraint_ps` with STA, and simulates the violating ones with
+/// `sim_vectors` seeded uniform vectors (operand width `width`).
+///
+/// # Errors
+///
+/// Propagates STA and simulator failures.
+pub fn inject_delay_faults(
+    netlist: &Netlist,
+    base: &NetDelays,
+    constraint_ps: f64,
+    factor: f64,
+    width: usize,
+    sim_vectors: usize,
+    seed: u64,
+) -> Result<DelayFaultReport, AixError> {
+    let padding = netlist.inputs().len().saturating_sub(2 * width);
+    let mut outcomes = Vec::with_capacity(netlist.gate_count());
+    for gate in 0..netlist.gate_count() {
+        let fault = DelayFault { gate, factor };
+        let faulty = fault.apply(netlist, base);
+        let delay = analyze(netlist, &faulty)?.max_delay_ps();
+        let violates = delay > constraint_ps + 1e-9;
+        let observed_error_rate = if violates && sim_vectors > 0 {
+            let stats = measure_errors(
+                netlist,
+                &faulty,
+                constraint_ps,
+                UniformOperands::new(width, seed).vectors_with_zeros(sim_vectors, padding),
+            )?;
+            Some(stats.error_rate())
+        } else {
+            None
+        };
+        outcomes.push(DelayFaultOutcome {
+            fault,
+            faulty_delay_ps: delay,
+            violates_timing: violates,
+            observed_error_rate,
+        });
+    }
+    Ok(DelayFaultReport {
+        factor,
+        constraint_ps,
+        outcomes,
+    })
+}
+
+/// Runs the stuck-at campaign over the full single-stuck-at fault list of
+/// `netlist` with `vectors` seeded uniform operand vectors.
+///
+/// # Errors
+///
+/// Propagates evaluator failures.
+pub fn stuck_at_campaign(
+    netlist: &Netlist,
+    width: usize,
+    vectors: usize,
+    seed: u64,
+) -> Result<FaultCoverage, AixError> {
+    let padding = netlist.inputs().len().saturating_sub(2 * width);
+    let stimuli: Vec<Vec<bool>> = UniformOperands::new(width, seed)
+        .vectors_with_zeros(vectors, padding)
+        .collect();
+    let faults = full_fault_list(netlist);
+    Ok(simulate_faults(netlist, &faults, &stimuli)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aix_arith::{build_adder, AdderKind, ComponentSpec};
+    use aix_cells::Library;
+    use std::sync::Arc;
+
+    fn adder(width: usize) -> Netlist {
+        let lib = Arc::new(Library::nangate45_like());
+        build_adder(&lib, AdderKind::RippleCarry, ComponentSpec::full(width)).unwrap()
+    }
+
+    #[test]
+    fn unit_factor_changes_nothing() {
+        let nl = adder(6);
+        let base = NetDelays::fresh(&nl);
+        let fault = DelayFault {
+            gate: 0,
+            factor: 1.0,
+        };
+        assert_eq!(fault.apply(&nl, &base), base);
+    }
+
+    #[test]
+    fn fault_slows_only_its_gate() {
+        let nl = adder(6);
+        let base = NetDelays::fresh(&nl);
+        let fault = DelayFault {
+            gate: 2,
+            factor: 3.0,
+        };
+        let faulty = fault.apply(&nl, &base);
+        for (id, net) in nl.nets() {
+            let (b, f) = (base.of(id.index()), faulty.of(id.index()));
+            match net.driver {
+                aix_netlist::NetDriver::Gate { gate, .. } if gate.index() == 2 => {
+                    assert!((f - 3.0 * b).abs() < 1e-12);
+                }
+                _ => assert_eq!(b, f),
+            }
+        }
+    }
+
+    #[test]
+    fn large_faults_violate_and_are_observable() {
+        let nl = adder(8);
+        let base = NetDelays::fresh(&nl);
+        let constraint = analyze(&nl, &base).unwrap().max_delay_ps();
+        // A 4× slowdown of any critical-path gate busts the constraint.
+        let report =
+            inject_delay_faults(&nl, &base, constraint, 4.0, 8, 64, 11).unwrap();
+        assert_eq!(report.outcomes.len(), nl.gate_count());
+        assert!(report.violating().count() > 0);
+        let obs = report.observability().unwrap();
+        assert!(
+            obs > 0.0,
+            "some violating fault must corrupt an output: {}",
+            report.render()
+        );
+        // Faults that keep timing never get simulated.
+        for o in &report.outcomes {
+            if !o.violates_timing {
+                assert_eq!(o.observed_error_rate, None);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_faults_keep_timing() {
+        let nl = adder(8);
+        let base = NetDelays::fresh(&nl);
+        let constraint = analyze(&nl, &base).unwrap().max_delay_ps();
+        let report = inject_delay_faults(
+            &nl,
+            &base,
+            constraint * 1.5,
+            1.01,
+            8,
+            16,
+            11,
+        )
+        .unwrap();
+        assert_eq!(report.violating().count(), 0);
+        assert_eq!(report.observability(), None);
+        assert!(report.render().contains("no fault violates timing"));
+    }
+
+    #[test]
+    fn stuck_at_campaign_detects_output_faults() {
+        let nl = adder(4);
+        let coverage = stuck_at_campaign(&nl, 4, 64, 5).unwrap();
+        assert!(coverage.coverage() > 0.5);
+        assert_eq!(coverage.vector_count(), 64);
+    }
+}

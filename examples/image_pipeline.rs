@@ -18,9 +18,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "datapath guard bits: {OPERAND_SHIFT} (the first {OPERAND_SHIFT} truncated LSBs are free)\n"
     );
     println!(
-        "{:<12} {}",
-        "sequence",
-        "PSNR [dB] at multiplier truncation of 0 / 8 / 10 / 12 / 14 bits"
+        "{:<12} PSNR [dB] at multiplier truncation of 0 / 8 / 10 / 12 / 14 bits",
+        "sequence"
     );
     for sequence in Sequence::ALL {
         let frame = sequence.frame_qcif(0);

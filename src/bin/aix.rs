@@ -1,10 +1,13 @@
 //! `aix` — command-line driver for the aging-induced-approximations
 //! workspace: characterize components, run the microarchitecture flow,
-//! measure error rates and export EDA artifacts without writing any code.
+//! verify guarantees, measure error rates and export EDA artifacts
+//! without writing any code.
 //!
 //! ```text
 //! aix characterize --kind adder --width 16 [--effort medium] [--out FILE]
 //! aix flow [--years 10] [--stress worst|balanced] [--library FILE]
+//!          [--verify off|warn|degrade|failfast]
+//! aix verify [--library FILE] [--samples N] [--seed N] [--policy failfast]
 //! aix error-rate --kind adder --width 32 [--years 10] [--vectors 4000]
 //! aix quality --truncation 9 [--width 176 --height 144]
 //! aix export [--out-dir out]
@@ -15,16 +18,21 @@ use aix::aging::{AgingModel, AgingScenario, Lifetime};
 use aix::arith::ComponentSpec;
 use aix::cells::{degradation_to_text, to_liberty, DegradationAwareLibrary, Library};
 use aix::core::{
-    apply_aging_approximations, characterize_component, idct_design, ApproxLibrary,
-    CharacterizationConfig, ComponentKind,
+    characterize_component, idct_design, AixError, ApproxLibrary, CharacterizationConfig,
+    ComponentKind,
 };
 use aix::dct::DatapathPrecision;
 use aix::netlist::{to_dot, to_verilog};
 use aix::sim::{measure_errors, OperandSource, SignedNormalOperands};
 use aix::sta::{analyze, to_sdf, NetDelays};
 use aix::synth::Effort;
+use aix::verify::{
+    apply_aging_approximations_verified, verify_library, Perturbation, VerifyConfig,
+    VerifyError, VerifyPolicy,
+};
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::str::FromStr;
 use std::sync::Arc;
 
 fn main() -> ExitCode {
@@ -37,17 +45,21 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "characterize" => characterize(&options),
         "flow" => flow(&options),
+        "verify" => verify(&options),
         "error-rate" => error_rate(&options),
         "quality" => quality(&options),
         "export" => export(&options),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
-        other => Err(format!("unknown command `{other}`\n{USAGE}").into()),
+        other => {
+            eprintln!("aix: unknown command `{other}`\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(error) => {
             eprintln!("aix: {error}");
             ExitCode::FAILURE
@@ -63,7 +75,14 @@ commands:
                 [--out FILE]      characterize a component and print/store the
                                   aging-induced approximation library row
   flow          [--years N] [--stress worst|balanced] [--library FILE]
-                                  run the Fig. 6 flow on the IDCT design
+                [--verify off|warn|degrade|failfast] [--samples N] [--seed N]
+                                  run the Fig. 6 flow on the IDCT design,
+                                  optionally gated by Monte-Carlo verification
+  verify        [--library FILE] [--samples N] [--seed N] [--margin PS]
+                [--sigma-global F] [--sigma-gate F] [--vectors N]
+                [--policy off|warn|degrade|failfast]
+                                  adversarially re-validate every library entry;
+                                  exits non-zero iff a failfast violation is found
   error-rate    --kind adder|multiplier --width N [--years N] [--vectors N]
                                   measure timing-error probability at the fresh clock
   quality       --truncation N [--width W --height H]
@@ -72,7 +91,7 @@ commands:
                                   DOT and SDF artifacts
   help                            show this message";
 
-type CliResult = Result<(), Box<dyn std::error::Error>>;
+type CliResult = Result<ExitCode, AixError>;
 
 fn parse_options(args: impl Iterator<Item = String>) -> HashMap<String, String> {
     let mut options = HashMap::new();
@@ -98,45 +117,147 @@ fn parse_options(args: impl Iterator<Item = String>) -> HashMap<String, String> 
     options
 }
 
-fn get<'o>(options: &'o HashMap<String, String>, key: &str) -> Option<&'o str> {
-    options.get(key).map(String::as_str)
+/// Looks up `flag` (given with its leading dashes) in the parsed options.
+fn get<'o>(options: &'o HashMap<String, String>, flag: &str) -> Option<&'o str> {
+    options
+        .get(flag.trim_start_matches('-'))
+        .map(String::as_str)
 }
 
-fn parse_kind(options: &HashMap<String, String>) -> Result<ComponentKind, String> {
-    get(options, "kind")
-        .ok_or("--kind is required")?
-        .parse()
-        .map_err(|e| format!("{e}"))
+/// A required option's value, or [`AixError::MissingOption`] naming it.
+fn require<'o>(
+    options: &'o HashMap<String, String>,
+    flag: &'static str,
+) -> Result<&'o str, AixError> {
+    get(options, flag).ok_or(AixError::MissingOption { flag })
 }
 
-fn parse_effort(options: &HashMap<String, String>) -> Result<Effort, String> {
-    match get(options, "effort").unwrap_or("ultra") {
+/// Parses an optional flag's value, defaulting when absent; a value that
+/// fails to parse yields [`AixError::InvalidOption`] naming the flag.
+fn parse_or<T: FromStr>(
+    options: &HashMap<String, String>,
+    flag: &'static str,
+    default: T,
+    expected: &'static str,
+) -> Result<T, AixError> {
+    match get(options, flag) {
+        None => Ok(default),
+        Some(value) => value.parse().map_err(|_| AixError::InvalidOption {
+            flag,
+            value: value.to_owned(),
+            expected,
+        }),
+    }
+}
+
+fn parse_kind(options: &HashMap<String, String>) -> Result<ComponentKind, AixError> {
+    let value = require(options, "--kind")?;
+    value.parse().map_err(|_| AixError::InvalidOption {
+        flag: "--kind",
+        value: value.to_owned(),
+        expected: "adder|multiplier|mac",
+    })
+}
+
+fn parse_effort(options: &HashMap<String, String>) -> Result<Effort, AixError> {
+    match get(options, "--effort").unwrap_or("ultra") {
         "area" => Ok(Effort::Area),
         "medium" => Ok(Effort::Medium),
         "ultra" => Ok(Effort::Ultra),
-        other => Err(format!("unknown effort `{other}`")),
+        other => Err(AixError::InvalidOption {
+            flag: "--effort",
+            value: other.to_owned(),
+            expected: "area|medium|ultra",
+        }),
     }
 }
 
-fn parse_scenario(options: &HashMap<String, String>) -> Result<AgingScenario, String> {
-    let years: f64 = get(options, "years")
-        .unwrap_or("10")
-        .parse()
-        .map_err(|_| "bad --years")?;
-    let lifetime = Lifetime::try_from_years(years).map_err(|e| e.to_string())?;
-    match get(options, "stress").unwrap_or("worst") {
+fn parse_scenario(options: &HashMap<String, String>) -> Result<AgingScenario, AixError> {
+    let years: f64 = parse_or(options, "--years", 10.0, "a number of years")?;
+    let lifetime = Lifetime::try_from_years(years).map_err(|_| AixError::InvalidOption {
+        flag: "--years",
+        value: years.to_string(),
+        expected: "a finite, non-negative number of years",
+    })?;
+    match get(options, "--stress").unwrap_or("worst") {
         "worst" => Ok(AgingScenario::worst_case(lifetime)),
         "balanced" => Ok(AgingScenario::balanced(lifetime)),
-        other => Err(format!("unknown stress `{other}`")),
+        other => Err(AixError::InvalidOption {
+            flag: "--stress",
+            value: other.to_owned(),
+            expected: "worst|balanced",
+        }),
     }
+}
+
+fn parse_policy(
+    options: &HashMap<String, String>,
+    flag: &'static str,
+    default: VerifyPolicy,
+) -> Result<VerifyPolicy, AixError> {
+    match get(options, flag) {
+        None => Ok(default),
+        Some(value) => value.parse().map_err(|_| AixError::InvalidOption {
+            flag,
+            value: value.to_owned(),
+            expected: "off|warn|degrade|failfast",
+        }),
+    }
+}
+
+fn parse_verify_config(options: &HashMap<String, String>) -> Result<VerifyConfig, AixError> {
+    let defaults = VerifyConfig::default();
+    Ok(VerifyConfig {
+        samples: parse_or(options, "--samples", defaults.samples, "a positive integer")?,
+        perturbation: Perturbation {
+            global_sigma: parse_or(
+                options,
+                "--sigma-global",
+                defaults.perturbation.global_sigma,
+                "a relative sigma like 0.03",
+            )?,
+            gate_sigma: parse_or(
+                options,
+                "--sigma-gate",
+                defaults.perturbation.gate_sigma,
+                "a relative sigma like 0.01",
+            )?,
+        },
+        seed: parse_or(options, "--seed", defaults.seed, "an unsigned integer")?,
+        margin_target_ps: parse_or(
+            options,
+            "--margin",
+            defaults.margin_target_ps,
+            "a margin in picoseconds",
+        )?,
+        sim_vectors: parse_or(
+            options,
+            "--vectors",
+            defaults.sim_vectors,
+            "a vector count",
+        )?,
+        max_degrade_steps: parse_or(
+            options,
+            "--max-degrade",
+            defaults.max_degrade_steps,
+            "a step count",
+        )?,
+    })
+}
+
+fn read_library(path: &str) -> Result<ApproxLibrary, AixError> {
+    let text = std::fs::read_to_string(path).map_err(|e| AixError::io(path, e))?;
+    ApproxLibrary::from_text(&text).map_err(|e| AixError::library_file(path, e))
 }
 
 fn characterize(options: &HashMap<String, String>) -> CliResult {
     let kind = parse_kind(options)?;
-    let width: usize = get(options, "width")
-        .ok_or("--width is required")?
-        .parse()
-        .map_err(|_| "bad --width")?;
+    let value = require(options, "--width")?;
+    let width: usize = value.parse().map_err(|_| AixError::InvalidOption {
+        flag: "--width",
+        value: value.to_owned(),
+        expected: "a positive operand width in bits",
+    })?;
     let cells = Arc::new(Library::nangate45_like());
     let mut config = CharacterizationConfig::paper_default(kind, width);
     config.effort = parse_effort(options)?;
@@ -144,8 +265,8 @@ fn characterize(options: &HashMap<String, String>) -> CliResult {
     let mut library = ApproxLibrary::new();
     library.insert(characterization);
     let text = library.to_text();
-    if let Some(path) = get(options, "out") {
-        std::fs::write(path, &text)?;
+    if let Some(path) = get(options, "--out") {
+        std::fs::write(path, &text).map_err(|e| AixError::io(path, e))?;
         println!("written to {path}");
     } else {
         print!("{text}");
@@ -163,15 +284,16 @@ fn characterize(options: &HashMap<String, String>) -> CliResult {
             None => println!("# Eq. 2 under {scenario}: not compensable"),
         }
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 fn flow(options: &HashMap<String, String>) -> CliResult {
     let scenario = parse_scenario(options)?;
+    let policy = parse_policy(options, "--verify", VerifyPolicy::Off)?;
     let cells = Arc::new(Library::nangate45_like());
     let model = AgingModel::calibrated();
-    let library = match get(options, "library") {
-        Some(path) => ApproxLibrary::from_text(&std::fs::read_to_string(path)?)?,
+    let library = match get(options, "--library") {
+        Some(path) => read_library(path)?,
         None => {
             eprintln!("(no --library given: characterizing the IDCT components, ~minutes)");
             let mut library = ApproxLibrary::new();
@@ -189,9 +311,25 @@ fn flow(options: &HashMap<String, String>) -> CliResult {
         }
     };
     let design = idct_design(&cells, Effort::Ultra)?;
-    let plan = apply_aging_approximations(&design, &library, &model, scenario)?;
+    let verified = match apply_aging_approximations_verified(
+        &cells,
+        &design,
+        &library,
+        &model,
+        scenario,
+        policy,
+        &parse_verify_config(options)?,
+    ) {
+        Ok(verified) => verified,
+        Err(VerifyError::Aix(e)) => return Err(e),
+        Err(e @ (VerifyError::GuaranteeViolated { .. } | VerifyError::Unrepairable { .. })) => {
+            eprintln!("aix: {e}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    let plan = &verified.plan;
     println!(
-        "design `{}` constraint {:.1} ps under {scenario}:",
+        "design `{}` constraint {:.1} ps under {scenario} (verify: {policy}):",
         design.name(),
         plan.constraint_ps
     );
@@ -205,24 +343,66 @@ fn flow(options: &HashMap<String, String>) -> CliResult {
             block.truncated_bits()
         );
     }
+    for verification in &verified.blocks {
+        if verification.degraded_bits() > 0 {
+            println!(
+                "  {:<12} degraded {} extra bit(s): {}b -> {}b (worst margin {:+.1} ps)",
+                verification.name,
+                verification.degraded_bits(),
+                verification.planned_precision,
+                verification.final_precision,
+                verification.stats.min_ps
+            );
+        }
+    }
+    for warning in verified.warnings() {
+        eprintln!(
+            "warning: block `{}` misses its margin target by {:.1} ps at precision {}b",
+            warning.name,
+            -warning.stats.min_ps,
+            warning.final_precision
+        );
+    }
     let validation = plan.validate(&cells, design.effort(), &model)?;
     println!(
         "validation: timing {}",
         if validation.timing_met { "MET" } else { "VIOLATED" }
     );
-    Ok(())
+    Ok(ExitCode::SUCCESS)
+}
+
+fn verify(options: &HashMap<String, String>) -> CliResult {
+    let policy = parse_policy(options, "--policy", VerifyPolicy::FailFast)?;
+    let config = parse_verify_config(options)?;
+    let cells = Arc::new(Library::nangate45_like());
+    let model = AgingModel::calibrated();
+    let library = match get(options, "--library") {
+        Some(path) => read_library(path)?,
+        None => {
+            eprintln!("(no --library given: characterizing a quick demo library)");
+            let mut library = ApproxLibrary::new();
+            for kind in [ComponentKind::Adder, ComponentKind::Multiplier] {
+                library.insert(characterize_component(
+                    &cells,
+                    &CharacterizationConfig::quick(kind, 16),
+                )?);
+            }
+            library
+        }
+    };
+    let report = verify_library(&cells, &library, &model, &config)?;
+    print!("{}", report.render());
+    if policy == VerifyPolicy::FailFast && !report.all_passed() {
+        eprintln!("aix: verification failed under failfast policy");
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn error_rate(options: &HashMap<String, String>) -> CliResult {
     let kind = parse_kind(options)?;
-    let width: usize = get(options, "width")
-        .unwrap_or("32")
-        .parse()
-        .map_err(|_| "bad --width")?;
-    let vectors: usize = get(options, "vectors")
-        .unwrap_or("4000")
-        .parse()
-        .map_err(|_| "bad --vectors")?;
+    let width: usize = parse_or(options, "--width", 32, "a positive operand width in bits")?;
+    let vectors: usize = parse_or(options, "--vectors", 4000, "a positive vector count")?;
     let scenario = parse_scenario(options)?;
     let cells = Arc::new(Library::nangate45_like());
     let model = AgingModel::calibrated();
@@ -244,22 +424,18 @@ fn error_rate(options: &HashMap<String, String>) -> CliResult {
         stats.vectors,
         stats.mean_abs_error
     );
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 fn quality(options: &HashMap<String, String>) -> CliResult {
-    let truncation: u32 = get(options, "truncation")
-        .ok_or("--truncation is required")?
-        .parse()
-        .map_err(|_| "bad --truncation")?;
-    let width: usize = get(options, "width")
-        .unwrap_or("176")
-        .parse()
-        .map_err(|_| "bad --width")?;
-    let height: usize = get(options, "height")
-        .unwrap_or("144")
-        .parse()
-        .map_err(|_| "bad --height")?;
+    let value = require(options, "--truncation")?;
+    let truncation: u32 = value.parse().map_err(|_| AixError::InvalidOption {
+        flag: "--truncation",
+        value: value.to_owned(),
+        expected: "a truncated-bit count",
+    })?;
+    let width: usize = parse_or(options, "--width", 176, "a frame width in pixels")?;
+    let height: usize = parse_or(options, "--height", 144, "a frame height in pixels")?;
     let results = aix::core::evaluate_sequences(
         DatapathPrecision::new(truncation, 0),
         width,
@@ -280,28 +456,31 @@ fn quality(options: &HashMap<String, String>) -> CliResult {
         "average",
         aix::core::average_psnr_db(&results)
     );
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 fn export(options: &HashMap<String, String>) -> CliResult {
-    let dir = get(options, "out-dir").unwrap_or("out");
-    std::fs::create_dir_all(dir)?;
+    let dir = get(options, "--out-dir").unwrap_or("out");
+    std::fs::create_dir_all(dir).map_err(|e| AixError::io(dir, e))?;
+    let write = |path: String, contents: String| -> Result<(), AixError> {
+        std::fs::write(&path, contents).map_err(|e| AixError::io(path, e))
+    };
     let cells = Arc::new(Library::nangate45_like());
     let model = AgingModel::calibrated();
-    std::fs::write(format!("{dir}/aix_45nm.lib"), to_liberty(&cells))?;
+    write(format!("{dir}/aix_45nm.lib"), to_liberty(&cells))?;
     let aged = DegradationAwareLibrary::generate(&cells, &model, Lifetime::YEARS_10);
-    std::fs::write(
+    write(
         format!("{dir}/aix_45nm_aged10y.tbl"),
         degradation_to_text(&cells, &aged),
     )?;
     let adder = ComponentKind::Adder.synthesize(&cells, ComponentSpec::full(16), Effort::Ultra)?;
-    std::fs::write(format!("{dir}/adder16_ultra.v"), to_verilog(&adder))?;
-    std::fs::write(format!("{dir}/adder16_ultra.dot"), to_dot(&adder))?;
-    std::fs::write(
+    write(format!("{dir}/adder16_ultra.v"), to_verilog(&adder))?;
+    write(format!("{dir}/adder16_ultra.dot"), to_dot(&adder))?;
+    write(
         format!("{dir}/adder16_ultra_fresh.sdf"),
         to_sdf(&adder, &NetDelays::fresh(&adder), "fresh"),
     )?;
-    std::fs::write(
+    write(
         format!("{dir}/adder16_ultra_aged10y.sdf"),
         to_sdf(
             &adder,
@@ -324,5 +503,5 @@ fn export(options: &HashMap<String, String>) -> CliResult {
     ] {
         println!("  {dir}/{name}");
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }

@@ -13,6 +13,8 @@
 //!   (Fig. 6).
 //! * [`aging`], [`cells`], [`netlist`], [`arith`], [`synth`], [`sta`],
 //!   [`sim`], [`power`] — the EDA substrate everything is built on.
+//! * [`verify`] — adversarial re-validation: Monte-Carlo guarantee
+//!   verification, fault injection and graceful precision degradation.
 //! * [`dct`], [`image`] — the error-tolerant multimedia case study.
 //!
 //! # Examples
@@ -42,3 +44,4 @@ pub use aix_power as power;
 pub use aix_sim as sim;
 pub use aix_sta as sta;
 pub use aix_synth as synth;
+pub use aix_verify as verify;

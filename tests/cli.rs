@@ -12,7 +12,7 @@ fn help_lists_every_command() {
     let output = aix().arg("help").output().expect("spawn aix");
     assert!(output.status.success());
     let text = String::from_utf8_lossy(&output.stdout);
-    for command in ["characterize", "flow", "error-rate", "quality", "export"] {
+    for command in ["characterize", "flow", "verify", "error-rate", "quality", "export"] {
         assert!(text.contains(command), "help must mention `{command}`");
     }
 }
@@ -65,6 +65,150 @@ fn missing_required_flag_is_a_clean_error() {
     let output = aix().args(["characterize"]).output().expect("spawn aix");
     assert!(!output.status.success());
     assert!(String::from_utf8_lossy(&output.stderr).contains("--kind is required"));
+}
+
+/// Writes a quick honest 12-bit adder library to a temp file and returns
+/// its path.
+fn quick_library_file(name: &str) -> std::path::PathBuf {
+    use aix::core::{characterize_component, ApproxLibrary, CharacterizationConfig, ComponentKind};
+    let cells = std::sync::Arc::new(aix::cells::Library::nangate45_like());
+    let mut library = ApproxLibrary::new();
+    library.insert(
+        characterize_component(
+            &cells,
+            &CharacterizationConfig::quick(ComponentKind::Adder, 12),
+        )
+        .expect("characterize"),
+    );
+    let dir = std::env::temp_dir().join("aix-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, library.to_text()).expect("write library");
+    path
+}
+
+#[test]
+fn verify_report_is_deterministic_per_seed() {
+    let library = quick_library_file("verify-seed.txt");
+    let run = |seed: &str| {
+        let output = aix()
+            .args(["verify", "--samples", "8", "--seed", seed, "--library"])
+            .arg(&library)
+            .output()
+            .expect("spawn aix");
+        assert!(
+            output.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        String::from_utf8_lossy(&output.stdout).into_owned()
+    };
+    let first = run("11");
+    let second = run("11");
+    assert_eq!(first, second, "same seed must reproduce the identical report");
+    assert!(first.contains("seed 11"));
+    assert!(first.contains("PASS"));
+    let other = run("12");
+    assert_ne!(first, other, "a different seed must draw different samples");
+}
+
+#[test]
+fn verify_exits_nonzero_on_corrupted_library_under_failfast() {
+    let honest = quick_library_file("verify-corrupt.txt");
+    // Corrupt the artifact: claim full precision meets the guarantee under
+    // 10-year worst-case aging by copying the fresh delay over the aged one.
+    let text = std::fs::read_to_string(&honest).expect("read library");
+    let fresh_delay = text
+        .lines()
+        .find_map(|l| l.strip_prefix("entry 12 fresh "))
+        .expect("fresh full-precision entry")
+        .to_owned();
+    let corrupted: String = text
+        .lines()
+        .map(|l| {
+            if l.starts_with("entry 12 wc:10 ") {
+                format!("entry 12 wc:10 {fresh_delay}\n")
+            } else {
+                format!("{l}\n")
+            }
+        })
+        .collect();
+    let path = std::env::temp_dir().join("aix-cli-test/verify-corrupted.txt");
+    std::fs::write(&path, corrupted).expect("write corrupted library");
+
+    let nominal = [
+        "--samples",
+        "1",
+        "--sigma-global",
+        "0",
+        "--sigma-gate",
+        "0",
+        "--vectors",
+        "0",
+    ];
+    let output = aix()
+        .arg("verify")
+        .args(nominal)
+        .arg("--library")
+        .arg(&path)
+        .output()
+        .expect("spawn aix");
+    assert!(
+        !output.status.success(),
+        "failfast must exit non-zero on a violated guarantee"
+    );
+    assert!(String::from_utf8_lossy(&output.stdout).contains("FAIL"));
+
+    // The same campaign under --policy warn reports but exits zero.
+    let output = aix()
+        .arg("verify")
+        .args(nominal)
+        .args(["--policy", "warn", "--library"])
+        .arg(&path)
+        .output()
+        .expect("spawn aix");
+    assert!(output.status.success());
+    assert!(String::from_utf8_lossy(&output.stdout).contains("FAIL"));
+}
+
+#[test]
+fn bad_option_values_name_the_flag() {
+    let output = aix()
+        .args(["verify", "--samples", "banana"])
+        .output()
+        .expect("spawn aix");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("--samples") && stderr.contains("banana"),
+        "error must name the flag and value: {stderr}"
+    );
+
+    let output = aix()
+        .args(["flow", "--verify", "sometimes"])
+        .output()
+        .expect("spawn aix");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--verify") && stderr.contains("sometimes"));
+
+    let output = aix()
+        .args(["error-rate", "--kind", "frobnicator"])
+        .output()
+        .expect("spawn aix");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--kind") && stderr.contains("frobnicator"));
+}
+
+#[test]
+fn missing_library_file_error_names_the_path() {
+    let output = aix()
+        .args(["verify", "--library", "/nonexistent/lib.txt"])
+        .output()
+        .expect("spawn aix");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("/nonexistent/lib.txt"));
 }
 
 #[test]

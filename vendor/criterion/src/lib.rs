@@ -1,0 +1,175 @@
+//! Offline, vendored stand-in for the `criterion` crate.
+//!
+//! The build container has no network access, so the workspace vendors the
+//! API subset its benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] (with `sample_size`), [`Bencher::iter`],
+//! [`black_box`] and the [`criterion_group!`]/[`criterion_main!`] macros.
+//! Measurements are simple wall-clock medians over a handful of samples —
+//! enough to compare orders of magnitude, which is all the paper-claim
+//! benches assert narratively.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box, like `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&name.into(), self.default_sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timing samples collected per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(
+            &format!("{}/{}", self.name, name.into()),
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Times the closure handed to [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the total time and iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call, then a timed batch sized so that very fast
+        // bodies still accumulate a measurable duration.
+        black_box(f());
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_micros(200) || batch >= 1 << 20 {
+                self.elapsed += elapsed;
+                self.iterations += batch;
+                return;
+            }
+            batch *= 4;
+        }
+    }
+
+    fn per_iteration(&self) -> Duration {
+        if self.iterations == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / u32::try_from(self.iterations).unwrap_or(u32::MAX)
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples.max(2) {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        times.push(bencher.per_iteration());
+    }
+    times.sort();
+    let median = times[times.len() / 2];
+    let (min, max) = (times[0], times[times.len() - 1]);
+    println!("{name:<50} median {median:>12.3?}  [{min:.3?} .. {max:.3?}]");
+}
+
+/// Collects benchmark functions into one runnable group, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups, like criterion's.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut bencher = Bencher::default();
+        bencher.iter(|| black_box(3u64.pow(7)));
+        assert!(bencher.iterations > 0);
+    }
+
+    #[test]
+    fn groups_and_functions_run() {
+        let mut criterion = Criterion::default();
+        criterion.bench_function("noop", |b| b.iter(|| ()));
+        let mut group = criterion.benchmark_group("group");
+        group.sample_size(3);
+        group.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}
