@@ -4,6 +4,13 @@ use crate::{AgingModel, AlphaPowerLaw, BtiModel};
 #[cfg(test)]
 use crate::{DeltaVth, Lifetime, StressFactor};
 
+/// Version of the calibration *scheme*. Bump whenever the model form or
+/// the meaning of a calibration parameter changes, so that artifacts
+/// fingerprinted against an older calibration (e.g. the on-disk
+/// characterization cache) are invalidated even if the parameter values
+/// happen to coincide.
+pub const CALIBRATION_VERSION: u32 = 1;
+
 /// Nominal supply voltage of the 45 nm-class technology, in volts.
 pub const VDD_V: f64 = 1.1;
 /// Nominal fresh threshold voltage, in volts.
@@ -71,6 +78,23 @@ impl Calibration {
     /// Builds the complete [`AgingModel`].
     pub fn into_model(self) -> AgingModel {
         AgingModel::new(self.bti(), self.law())
+    }
+
+    /// A stable token folding [`CALIBRATION_VERSION`] and every parameter
+    /// value, for content-addressing artifacts derived from this
+    /// calibration (the characterization cache fingerprints it). Uses the
+    /// exact IEEE-754 bit patterns so any parameter change, however small,
+    /// produces a different token.
+    pub fn fingerprint_token(&self) -> String {
+        format!(
+            "cal-v{CALIBRATION_VERSION}:{:016x}:{:016x}:{:016x}:{:016x}:{:016x}:{:016x}",
+            self.vdd.to_bits(),
+            self.vth0.to_bits(),
+            self.alpha.to_bits(),
+            self.time_exponent.to_bits(),
+            self.stress_exponent.to_bits(),
+            self.delta_vth_10y_worst.to_bits(),
+        )
     }
 }
 

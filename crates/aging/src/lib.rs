@@ -34,7 +34,8 @@ mod stress;
 mod vth;
 
 pub use calibration::{
-    Calibration, ALPHA, DELTA_VTH_10Y_WORST_V, STRESS_EXPONENT, TIME_EXPONENT, VDD_V, VTH0_V,
+    Calibration, ALPHA, CALIBRATION_VERSION, DELTA_VTH_10Y_WORST_V, STRESS_EXPONENT,
+    TIME_EXPONENT, VDD_V, VTH0_V,
 };
 pub use hci::{CombinedAgingModel, HciModel};
 pub use law::AlphaPowerLaw;

@@ -40,28 +40,21 @@ pub fn run(options: &Options) -> String {
         ),
     ];
     // The three conditions are independent full gate-level runs; execute
-    // them concurrently.
-    let results: Vec<_> = std::thread::scope(|scope| {
-        conditions
-            .map(|(label, scenario, paper)| {
-                let cells = Arc::clone(&cells);
-                let frame = &frame;
-                scope.spawn(move || {
-                    let pipeline =
-                        GateLevelPipeline::new(&cells, GateLevelConfig::aged(scenario))
-                            .expect("pipeline synthesis");
-                    let quantizer =
-                        Quantizer::jpeg_quality(aix_core::PIPELINE_JPEG_QUALITY);
-                    let (decoded, stats) = pipeline
-                        .roundtrip_image(frame, Some(&quantizer))
-                        .expect("gate-level round trip");
-                    (label, paper, decoded, stats)
-                })
-            })
-            .map(|handle| handle.join().expect("condition thread"))
-            .into_iter()
-            .collect()
-    });
+    // them on the characterization engine's work pool (honours AIX_JOBS).
+    let jobs = aix_core::EngineOptions::from_env().resolved_jobs();
+    let results: Vec<_> = aix_core::parallel_map(
+        jobs,
+        conditions.to_vec(),
+        |(label, scenario, paper)| {
+            let pipeline = GateLevelPipeline::new(&cells, GateLevelConfig::aged(scenario))
+                .expect("pipeline synthesis");
+            let quantizer = Quantizer::jpeg_quality(aix_core::PIPELINE_JPEG_QUALITY);
+            let (decoded, stats) = pipeline
+                .roundtrip_image(&frame, Some(&quantizer))
+                .expect("gate-level round trip");
+            (label, paper, decoded, stats)
+        },
+    );
     let mut measured = Vec::new();
     for (label, paper, decoded, stats) in results {
         let quality = psnr(&frame, &decoded);

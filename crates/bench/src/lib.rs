@@ -20,7 +20,10 @@ pub use options::Options;
 pub use table::Table;
 
 use aix_cells::Library;
-use aix_core::{characterize_component, ApproxLibrary, CharacterizationConfig, ComponentKind};
+use aix_core::{
+    append_bench_record, default_bench_json_path, ApproxLibrary, CharacterizationConfig,
+    CharacterizationEngine, ComponentKind, EngineOptions,
+};
 use aix_synth::Effort;
 use std::path::Path;
 use std::sync::Arc;
@@ -32,8 +35,11 @@ pub const STUDY_WIDTH: usize = 32;
 /// the paper's components: 32-bit adder, multiplier and MAC plus the 16-bit
 /// adder of the IDCT's rounding stage, all at the given effort.
 ///
-/// Characterization synthesizes each component at eleven precisions, so a
-/// cold build takes a few minutes; the resulting text artifact is cached.
+/// A cold build runs the [`CharacterizationEngine`] (honouring `AIX_JOBS`
+/// and the persistent `AIX_CACHE` cache, so a repeated cold build reuses
+/// the per-component synthesis results) and appends its per-stage timings
+/// to `out/BENCH_characterize.json`; the resulting text artifact is cached
+/// whole at `cache_path`.
 ///
 /// # Errors
 ///
@@ -56,15 +62,21 @@ pub fn build_or_load_library(
             }
         }
     }
-    let mut library = ApproxLibrary::new();
-    for kind in ComponentKind::ALL {
-        let mut config = CharacterizationConfig::paper_default(kind, STUDY_WIDTH);
+    let engine = CharacterizationEngine::new(Arc::clone(cells), EngineOptions::from_env());
+    let mut configs: Vec<CharacterizationConfig> = ComponentKind::ALL
+        .iter()
+        .map(|&kind| CharacterizationConfig::paper_default(kind, STUDY_WIDTH))
+        .collect();
+    configs.push(CharacterizationConfig::paper_default(
+        ComponentKind::Adder,
+        16,
+    ));
+    for config in &mut configs {
         config.effort = effort;
-        library.insert(characterize_component(cells, &config)?);
     }
-    let mut rounding = CharacterizationConfig::paper_default(ComponentKind::Adder, 16);
-    rounding.effort = effort;
-    library.insert(characterize_component(cells, &rounding)?);
+    let (library, report) = engine.characterize_all(&configs)?;
+    eprintln!("(characterization engine: {})", report.summary());
+    let _ = append_bench_record(&default_bench_json_path(), "bench library", &report);
     if let Some(path) = cache_path {
         if let Some(parent) = path.parent() {
             let _ = std::fs::create_dir_all(parent);

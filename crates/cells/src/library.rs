@@ -178,6 +178,39 @@ impl Library {
             .enumerate()
             .map(|(i, c)| (CellId(i as u32), c))
     }
+
+    /// A content hash over every cell's name and electrical parameters
+    /// (exact IEEE-754 bit patterns), in id order. Any change to the
+    /// library — a cell added, a delay retuned, an aging sensitivity
+    /// adjusted — produces a different hash, so artifacts derived from the
+    /// library (e.g. the characterization cache) can be content-addressed
+    /// against it. FNV-1a, stable across platforms and runs.
+    pub fn content_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for cell in &self.cells {
+            eat(cell.name.as_bytes());
+            eat(&[0xff]); // field separator
+            for value in [
+                cell.intrinsic_ps,
+                cell.drive_resistance_ps_per_ff,
+                cell.input_cap_ff,
+                cell.area_um2,
+                cell.leakage_nw,
+                cell.aging_sensitivity,
+            ] {
+                eat(&value.to_bits().to_le_bytes());
+            }
+        }
+        hash
+    }
 }
 
 impl Default for Library {
@@ -243,6 +276,20 @@ mod tests {
         let x05 = lib.downsize(x1).unwrap();
         assert_eq!(lib.cell(x05).drive, DriveStrength::X05);
         assert_eq!(lib.downsize(x05), None);
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_parameter_sensitive() {
+        let a = Library::nangate45_like();
+        let b = Library::nangate45_like();
+        assert_eq!(a.content_hash(), b.content_hash(), "deterministic");
+        let mut tweaked = Library::nangate45_like();
+        tweaked.cells[0].intrinsic_ps += 1e-9;
+        assert_ne!(
+            a.content_hash(),
+            tweaked.content_hash(),
+            "any parameter change must change the hash"
+        );
     }
 
     #[test]

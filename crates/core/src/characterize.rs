@@ -1,12 +1,10 @@
 //! Component characterization: relating precision to delay under aging
 //! (paper Fig. 3, Fig. 4 and Fig. 7).
 
+use crate::engine::{CharacterizationEngine, EngineOptions};
 use crate::{AixError, ComponentKind};
-use aix_aging::{AgingModel, AgingScenario, Lifetime};
-use aix_arith::ComponentSpec;
+use aix_aging::{AgingScenario, Lifetime};
 use aix_cells::Library;
-
-use aix_sta::{analyze, NetDelays};
 use aix_synth::Effort;
 use std::fmt;
 use std::sync::Arc;
@@ -91,13 +89,20 @@ impl CharacterizationConfig {
         }
     }
 
-    /// A cheap configuration for tests and doctests: four precisions, two
-    /// scenarios, medium effort.
+    /// A cheap configuration for tests and doctests: up to four precisions,
+    /// two scenarios, medium effort. Precisions are clamped to at least one
+    /// bit (like [`paper_default`](Self::paper_default)), so narrow widths
+    /// simply characterize fewer points instead of underflowing.
     pub fn quick(kind: ComponentKind, width: usize) -> Self {
+        let mut precisions: Vec<usize> = [0usize, 2, 4, 8]
+            .iter()
+            .map(|&cut| width.saturating_sub(cut).max(1))
+            .collect();
+        precisions.dedup();
         Self {
             kind,
             width,
-            precisions: vec![width, width - 2, width - 4, width - 8],
+            precisions,
             scenarios: vec![
                 AgingScenario::Fresh,
                 AgingScenario::worst_case(Lifetime::YEARS_10),
@@ -247,24 +252,32 @@ impl ComponentCharacterization {
     /// off, so its reported delay is a running minimum over descending
     /// precision. This removes the noise of independent greedy sizing runs.
     pub fn enforce_synthesis_monotonicity(&mut self) {
-        // Group entry indices by scenario, sort by descending precision,
-        // apply the running minimum.
-        let mut remaining: Vec<usize> = (0..self.entries.len()).collect();
-        while let Some(&seed) = remaining.first() {
-            let scenario = self.entries[seed].scenario;
-            let group: Vec<usize> = remaining
-                .iter()
-                .copied()
-                .filter(|&i| scenario_eq(self.entries[i].scenario, scenario))
-                .collect();
-            remaining.retain(|i| !group.contains(i));
-            let mut sorted = group;
-            sorted.sort_by(|&a, &b| self.entries[b].precision.cmp(&self.entries[a].precision));
-            let mut best = f64::INFINITY;
-            for index in sorted {
-                best = best.min(self.entries[index].delay_ps);
-                self.entries[index].delay_ps = best;
+        // Sort entry indices so entries of the same scenario become
+        // adjacent (shape tag, then numeric stress/lifetime — the IEEE bit
+        // pattern of a non-negative float sorts like its value) and ordered
+        // by descending precision; a single linear pass then applies the
+        // running minimum per group. Near-equal lifetimes land adjacent, so
+        // seeding each group with its first scenario and extending it while
+        // `scenario_eq` holds finds the same groups the old quadratic
+        // membership scan did, in O(n log n).
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (ea, eb) = (&self.entries[a], &self.entries[b]);
+            scenario_sort_key(ea.scenario)
+                .cmp(&scenario_sort_key(eb.scenario))
+                .then(eb.precision.cmp(&ea.precision))
+                .then(a.cmp(&b))
+        });
+        let mut group_seed: Option<CharacterizationScenario> = None;
+        let mut best = f64::INFINITY;
+        for &index in &order {
+            let scenario = self.entries[index].scenario;
+            if !group_seed.is_some_and(|seed| scenario_eq(seed, scenario)) {
+                group_seed = Some(scenario);
+                best = f64::INFINITY;
             }
+            best = best.min(self.entries[index].delay_ps);
+            self.entries[index].delay_ps = best;
         }
     }
 
@@ -286,11 +299,41 @@ impl ComponentCharacterization {
     }
 }
 
+/// Tolerance under which two floating-point lifetimes denote the same
+/// aging condition, in hours. One hour is far below any lifetime step the
+/// characterization sweeps (full years) yet far above accumulated
+/// round-off from serializing lifetimes through the library text format.
+pub const SCENARIO_LIFETIME_TOLERANCE_HOURS: f64 = 1.0;
+
+/// Hours per (365.25-day) year, matching [`Lifetime::seconds`].
+const HOURS_PER_YEAR: f64 = 365.25 * 24.0;
+
+/// A totally ordered key that clusters scenarios of the same shape and
+/// sorts them by numeric stress/lifetime, used to group entries in
+/// [`ComponentCharacterization::enforce_synthesis_monotonicity`]. Non-
+/// negative floats order the same as their IEEE-754 bit patterns.
+fn scenario_sort_key(scenario: CharacterizationScenario) -> (u8, u64, u64) {
+    use aix_aging::StressCondition;
+    use CharacterizationScenario as C;
+    match scenario {
+        C::Uniform(AgingScenario::Fresh) => (0, 0, 0),
+        C::Uniform(AgingScenario::Aged { stress, lifetime }) => match stress {
+            StressCondition::Worst => (1, 0, lifetime.years().to_bits()),
+            StressCondition::Balanced => (2, 0, lifetime.years().to_bits()),
+            StressCondition::Uniform(s) => (3, s.value().to_bits(), lifetime.years().to_bits()),
+        },
+        C::ActualNormal(lt) => (4, 0, lt.years().to_bits()),
+        C::ActualIdct(lt) => (5, 0, lt.years().to_bits()),
+    }
+}
+
 /// Whether two scenarios denote the same condition (floating-point
-/// lifetimes compare within 1 h).
+/// lifetimes compare within [`SCENARIO_LIFETIME_TOLERANCE_HOURS`]).
 fn scenario_eq(a: CharacterizationScenario, b: CharacterizationScenario) -> bool {
     use CharacterizationScenario as C;
-    let close = |x: Lifetime, y: Lifetime| (x.years() - y.years()).abs() < 1e-4;
+    let close = |x: Lifetime, y: Lifetime| {
+        (x.years() - y.years()).abs() * HOURS_PER_YEAR < SCENARIO_LIFETIME_TOLERANCE_HOURS
+    };
     match (a, b) {
         (C::Uniform(x), C::Uniform(y)) => match (x, y) {
             (AgingScenario::Fresh, AgingScenario::Fresh) => true,
@@ -317,6 +360,10 @@ fn scenario_eq(a: CharacterizationScenario, b: CharacterizationScenario) -> bool
 /// scenario) pair: synthesize once per precision, then run aging-aware STA
 /// per scenario — no gate-level simulation required (the heart of Fig. 3).
 ///
+/// This is a convenience wrapper around [`CharacterizationEngine`] running
+/// single-threaded and without the persistent cache; use the engine
+/// directly for parallel or cached characterization.
+///
 /// # Errors
 ///
 /// Propagates synthesis/STA errors and invalid precision specs as
@@ -325,24 +372,10 @@ pub fn characterize_component(
     library: &Arc<Library>,
     config: &CharacterizationConfig,
 ) -> Result<ComponentCharacterization, AixError> {
-    let model = AgingModel::calibrated();
-    let mut characterization =
-        ComponentCharacterization::new(config.kind, config.width, config.effort);
-    for &precision in &config.precisions {
-        let spec = ComponentSpec::new(config.width, precision)?;
-        let netlist = config.kind.synthesize(library, spec, config.effort)?;
-        for &scenario in &config.scenarios {
-            let delays = NetDelays::aged(&netlist, &model, scenario);
-            let report = analyze(&netlist, &delays)?;
-            characterization.add_entry(CharacterizationEntry {
-                precision,
-                scenario: scenario.into(),
-                delay_ps: report.max_delay_ps(),
-            });
-        }
-    }
-    characterization.enforce_synthesis_monotonicity();
-    Ok(characterization)
+    let engine = CharacterizationEngine::new(Arc::clone(library), EngineOptions::sequential());
+    engine
+        .characterize(config)
+        .map(|(characterization, _)| characterization)
 }
 
 #[cfg(test)]
@@ -439,6 +472,59 @@ mod tests {
             let config = CharacterizationConfig::paper_default(ComponentKind::Adder, width);
             assert!(config.precisions.iter().all(|&p| p >= 1 && p <= width));
             assert_eq!(config.precisions[0], width, "sweep starts at full width");
+        }
+    }
+
+    #[test]
+    fn quick_clamps_narrow_widths() {
+        // Regression: `quick(Adder, 4)` used to underflow `width - 8`.
+        let config = CharacterizationConfig::quick(ComponentKind::Adder, 4);
+        assert_eq!(config.precisions, vec![4, 2, 1]);
+        let c = characterize_component(&lib(), &config).expect("narrow widths characterize");
+        assert!(c.fresh_full_delay_ps() > 0.0);
+        for width in 1..=9 {
+            let config = CharacterizationConfig::quick(ComponentKind::Adder, width);
+            assert!(
+                config.precisions.iter().all(|&p| (1..=width).contains(&p)),
+                "width {width} produced {:?}",
+                config.precisions
+            );
+            assert_eq!(config.precisions[0], width, "sweep starts at full width");
+        }
+    }
+
+    #[test]
+    fn monotonicity_enforcement_scales_to_large_characterizations() {
+        // 10k entries (100 scenarios × 100 precisions) must normalize in
+        // well under a second — the old per-group membership scan was
+        // quadratic and took tens of seconds at this size.
+        let mut c = ComponentCharacterization::new(ComponentKind::Adder, 128, Effort::Medium);
+        for s in 0..100u64 {
+            let scenario = CharacterizationScenario::worst_case(Lifetime::from_years(
+                1.0 + s as f64,
+            ));
+            for p in 0..100usize {
+                c.add_entry(CharacterizationEntry {
+                    precision: 128 - p,
+                    scenario,
+                    delay_ps: 1000.0 - (p as f64 * 7.0) % 90.0,
+                });
+            }
+        }
+        let start = std::time::Instant::now();
+        c.enforce_synthesis_monotonicity();
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(1),
+            "monotonicity took {:?} for 10k entries",
+            start.elapsed()
+        );
+        // Still a per-scenario running minimum.
+        let wc = CharacterizationScenario::worst_case(Lifetime::from_years(1.0));
+        let mut last = f64::INFINITY;
+        for p in (29..=128).rev() {
+            let d = c.delay_ps(p, wc).unwrap();
+            assert!(d <= last + 1e-12);
+            last = d;
         }
     }
 

@@ -1,0 +1,823 @@
+//! Parallel, persistently cached characterization engine.
+//!
+//! The paper's key economic argument is that the library of aging-induced
+//! approximations is built *once* per component family and then reused at
+//! the microarchitecture level with no further gate-level work (Fig. 3,
+//! Fig. 6). This module makes that pre-characterization loop cheap and
+//! measurable:
+//!
+//! * **Job planner** — a [`CharacterizationConfig`] batch expands into
+//!   independent `(kind, width, precision)` *synthesis jobs* and
+//!   `(kind, width, precision, scenario)` *STA jobs*.
+//! * **Work pool** — jobs self-schedule over [`std::thread::scope`] worker
+//!   threads ([`parallel_map`]), with the thread count taken from an
+//!   explicit option, the `AIX_JOBS` environment variable, or the machine's
+//!   available parallelism.
+//! * **Content-addressed cache** — per-synthesis-job results persist under
+//!   a cache directory (default `out/cache/`), keyed by a fingerprint of
+//!   (cell-library content hash, aging-model calibration, kind, width,
+//!   precision, effort). A warm run skips synthesis and STA entirely.
+//!   Corrupted, truncated or stale files are detected and fall back to
+//!   re-synthesis — they can never poison results.
+//! * **Observability** — [`EngineReport`] carries per-stage wall-clock and
+//!   cache hit/miss counters; [`append_bench_record`] persists them as
+//!   machine-readable `BENCH_characterize.json` so the perf trajectory of
+//!   repeated runs is measurable.
+//!
+//! The engine is deterministic: characterization output is byte-identical
+//! for any job count and for cold versus warm caches. Jobs never share
+//! mutable state; results merge in planned order, and cached delays
+//! round-trip through the same 6-decimal text format the
+//! [`ApproxLibrary`] serializes, which reformats to identical bytes.
+//!
+//! # Examples
+//!
+//! ```
+//! use aix_core::{CharacterizationConfig, CharacterizationEngine, ComponentKind, EngineOptions};
+//! use aix_cells::Library;
+//! use std::sync::Arc;
+//!
+//! let cells = Arc::new(Library::nangate45_like());
+//! let engine = CharacterizationEngine::new(cells, EngineOptions::sequential());
+//! let config = CharacterizationConfig::quick(ComponentKind::Adder, 8);
+//! let (characterization, report) = engine.characterize(&config)?;
+//! assert!(characterization.fresh_full_delay_ps() > 0.0);
+//! assert_eq!(report.synth_executed, config.precisions.len());
+//! # Ok::<(), aix_core::AixError>(())
+//! ```
+
+use crate::library::{parse_scenario, scenario_token};
+use crate::{
+    AixError, ApproxLibrary, CharacterizationConfig, CharacterizationEntry,
+    ComponentCharacterization, ComponentKind,
+};
+use aix_aging::{AgingModel, Calibration};
+use aix_arith::ComponentSpec;
+use aix_cells::Library;
+use aix_netlist::Netlist;
+use aix_sta::{analyze, NetDelays};
+use aix_synth::Effort;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// How the engine schedules and caches its jobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Worker threads; `0` resolves to `AIX_JOBS` or, failing that, the
+    /// machine's available parallelism.
+    pub jobs: usize,
+    /// Directory of the persistent characterization cache; `None` disables
+    /// on-disk caching.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl EngineOptions {
+    /// One worker, no on-disk cache: the configuration that reproduces the
+    /// historical sequential [`characterize_component`] behaviour exactly
+    /// (it is also what that function now uses internally).
+    ///
+    /// [`characterize_component`]: crate::characterize_component
+    pub fn sequential() -> Self {
+        Self {
+            jobs: 1,
+            cache_dir: None,
+        }
+    }
+
+    /// Honours the environment: `AIX_JOBS` for the worker count and
+    /// `AIX_CACHE` for the cache directory (`off`, `none` or `0` disable
+    /// caching; unset uses [`default_cache_dir`]).
+    pub fn from_env() -> Self {
+        let jobs = std::env::var("AIX_JOBS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let cache_dir = match std::env::var("AIX_CACHE") {
+            Ok(value) if matches!(value.as_str(), "off" | "none" | "0") => None,
+            Ok(value) => Some(PathBuf::from(value)),
+            Err(_) => Some(default_cache_dir()),
+        };
+        Self { jobs, cache_dir }
+    }
+
+    /// The effective worker count: an explicit `jobs`, else `AIX_JOBS`,
+    /// else the machine's available parallelism.
+    pub fn resolved_jobs(&self) -> usize {
+        if self.jobs > 0 {
+            return self.jobs;
+        }
+        if let Some(jobs) = std::env::var("AIX_JOBS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&j| j > 0)
+        {
+            return jobs;
+        }
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    }
+}
+
+/// The default persistent cache location.
+pub fn default_cache_dir() -> PathBuf {
+    PathBuf::from("out/cache")
+}
+
+/// The default path of the machine-readable characterization benchmark log.
+pub fn default_bench_json_path() -> PathBuf {
+    PathBuf::from("out/BENCH_characterize.json")
+}
+
+/// Runs `run` over `items` on up to `jobs` scoped worker threads and
+/// returns the results *in item order*, regardless of which worker finished
+/// first. Workers self-schedule from a shared index (work stealing over a
+/// common queue), so an expensive item does not serialize the rest.
+///
+/// With `jobs <= 1` (or a single item) everything runs inline on the
+/// calling thread — no spawn overhead for the sequential case.
+///
+/// # Panics
+///
+/// Propagates panics from `run` once all workers have stopped.
+pub fn parallel_map<T, R, F>(jobs: usize, items: Vec<T>, run: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = jobs.max(1).min(items.len());
+    if workers <= 1 {
+        return items.into_iter().map(run).collect();
+    }
+    let queue: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = queue.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= queue.len() {
+                    break;
+                }
+                let item = queue[index]
+                    .lock()
+                    .expect("queue slot poisoned")
+                    .take()
+                    .expect("each item is claimed exactly once");
+                *slots[index].lock().expect("result slot poisoned") = Some(run(item));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every item was processed")
+        })
+        .collect()
+}
+
+/// Thread-safe memoization of synthesized netlists, keyed by
+/// `(kind, width, precision, effort)`. Synthesis is deterministic, so
+/// concurrent duplicate synthesis is merely wasted work — the first result
+/// stored wins and all callers observe identical netlists.
+///
+/// The engine shares one cache across a whole batch; re-verification
+/// ([`aix-verify`]) reuses the same type so the full-width constraint
+/// netlist is synthesized once per component rather than once per scenario.
+///
+/// [`aix-verify`]: crate#
+#[derive(Debug, Default)]
+pub struct NetlistCache {
+    inner: Mutex<HashMap<SynthKey, Arc<Netlist>>>,
+}
+
+/// Memoization key of one synthesis job: `(kind, width, precision, effort)`.
+type SynthKey = (ComponentKind, usize, usize, Effort);
+
+impl NetlistCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct netlists held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("netlist cache poisoned").len()
+    }
+
+    /// Whether no netlist has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Synthesizes `(kind, width, precision)` at `effort`, or returns the
+    /// memoized netlist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid specs and synthesis failures as [`AixError`].
+    pub fn synthesize(
+        &self,
+        cells: &Arc<Library>,
+        kind: ComponentKind,
+        width: usize,
+        precision: usize,
+        effort: Effort,
+    ) -> Result<Arc<Netlist>, AixError> {
+        let key = (kind, width, precision, effort);
+        if let Some(hit) = self.inner.lock().expect("netlist cache poisoned").get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        let spec = ComponentSpec::new(width, precision)?;
+        let netlist = Arc::new(kind.synthesize(cells, spec, effort)?);
+        let mut lock = self.inner.lock().expect("netlist cache poisoned");
+        Ok(Arc::clone(lock.entry(key).or_insert(netlist)))
+    }
+}
+
+/// Per-stage wall-clock and cache counters of one engine run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EngineReport {
+    /// Worker threads the run resolved to.
+    pub jobs: usize,
+    /// Synthesis jobs the planner expanded (one per precision per config).
+    pub synth_planned: usize,
+    /// Synthesis jobs actually executed (planned minus cache hits).
+    pub synth_executed: usize,
+    /// STA passes executed (scenarios × executed synthesis jobs).
+    pub sta_executed: usize,
+    /// Synthesis jobs satisfied from the on-disk cache.
+    pub cache_hits: usize,
+    /// Synthesis jobs that consulted the cache and missed.
+    pub cache_misses: usize,
+    /// Planning stage wall-clock, in milliseconds (includes cache probes).
+    pub plan_ms: f64,
+    /// Synthesis stage wall-clock, in milliseconds.
+    pub synth_ms: f64,
+    /// STA stage wall-clock, in milliseconds.
+    pub sta_ms: f64,
+    /// Merge/cache-writeback stage wall-clock, in milliseconds.
+    pub merge_ms: f64,
+    /// End-to-end wall-clock, in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl EngineReport {
+    /// One human-readable summary line for CLI output.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} job(s) · {:.0} ms wall: {} synth planned, {} executed \
+             ({} cache hit / {} miss), {} STA passes \
+             [plan {:.0} · synth {:.0} · sta {:.0} · merge {:.0} ms]",
+            self.jobs,
+            self.wall_ms,
+            self.synth_planned,
+            self.synth_executed,
+            self.cache_hits,
+            self.cache_misses,
+            self.sta_executed,
+            self.plan_ms,
+            self.synth_ms,
+            self.sta_ms,
+            self.merge_ms,
+        )
+    }
+
+    /// The run as one machine-readable JSON object (a single line).
+    pub fn to_json_record(&self, label: &str) -> String {
+        format!(
+            "{{\"label\":\"{}\",\"jobs\":{},\"wall_ms\":{:.3},\"plan_ms\":{:.3},\
+             \"synth_ms\":{:.3},\"sta_ms\":{:.3},\"merge_ms\":{:.3},\
+             \"synth_planned\":{},\"synth_executed\":{},\"sta_executed\":{},\
+             \"cache_hits\":{},\"cache_misses\":{}}}",
+            label.replace('\\', "\\\\").replace('"', "\\\""),
+            self.jobs,
+            self.wall_ms,
+            self.plan_ms,
+            self.synth_ms,
+            self.sta_ms,
+            self.merge_ms,
+            self.synth_planned,
+            self.synth_executed,
+            self.sta_executed,
+            self.cache_hits,
+            self.cache_misses,
+        )
+    }
+
+    /// Folds another report into this one (used when several engine runs
+    /// make up one logical build, e.g. the bench library covering four
+    /// components).
+    pub fn absorb(&mut self, other: &EngineReport) {
+        self.jobs = self.jobs.max(other.jobs);
+        self.synth_planned += other.synth_planned;
+        self.synth_executed += other.synth_executed;
+        self.sta_executed += other.sta_executed;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.plan_ms += other.plan_ms;
+        self.synth_ms += other.synth_ms;
+        self.sta_ms += other.sta_ms;
+        self.merge_ms += other.merge_ms;
+        self.wall_ms += other.wall_ms;
+    }
+}
+
+/// Appends one run record to the machine-readable benchmark log at `path`
+/// (created if absent). The file is a JSON object with a `runs` array, one
+/// record per engine run — comparing the wall-clock of consecutive records
+/// shows the cold-versus-warm cache trajectory.
+///
+/// # Errors
+///
+/// Returns I/O errors from reading or writing the log.
+pub fn append_bench_record(
+    path: &Path,
+    label: &str,
+    report: &EngineReport,
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    // Existing records are one per line; carry them over verbatim.
+    let mut records: Vec<String> = match std::fs::read_to_string(path) {
+        Ok(text) => text
+            .lines()
+            .map(str::trim)
+            .filter(|line| line.starts_with("{\"label\""))
+            .map(|line| line.trim_end_matches(',').to_owned())
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    records.push(report.to_json_record(label));
+    let mut out = String::from("{\n  \"schema\": \"aix-bench-characterize/v1\",\n  \"runs\": [\n");
+    for (index, record) in records.iter().enumerate() {
+        let comma = if index + 1 < records.len() { "," } else { "" };
+        let _ = writeln!(out, "    {record}{comma}");
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+/// The parallel, persistently cached characterization engine.
+///
+/// Construction snapshots the content fingerprint of the cell library and
+/// the aging-model calibration; every cache probe and write is keyed
+/// against it, so a retuned cell or recalibrated model can never serve
+/// stale delays.
+#[derive(Debug)]
+pub struct CharacterizationEngine {
+    cells: Arc<Library>,
+    options: EngineOptions,
+    netlists: NetlistCache,
+    fingerprint_base: u64,
+}
+
+impl CharacterizationEngine {
+    /// Creates an engine over `cells` with the given scheduling options.
+    pub fn new(cells: Arc<Library>, options: EngineOptions) -> Self {
+        let fingerprint_base = fingerprint_base(&cells, &Calibration::default());
+        Self {
+            cells,
+            options,
+            netlists: NetlistCache::new(),
+            fingerprint_base,
+        }
+    }
+
+    /// The engine's scheduling options.
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// The in-process netlist memoization this engine populates.
+    pub fn netlists(&self) -> &NetlistCache {
+        &self.netlists
+    }
+
+    /// Characterizes one component.
+    ///
+    /// # Errors
+    ///
+    /// Propagates synthesis/STA errors and invalid precision specs.
+    pub fn characterize(
+        &self,
+        config: &CharacterizationConfig,
+    ) -> Result<(ComponentCharacterization, EngineReport), AixError> {
+        let (mut characterizations, report) = self.run(std::slice::from_ref(config))?;
+        Ok((
+            characterizations.pop().expect("one config yields one result"),
+            report,
+        ))
+    }
+
+    /// Characterizes a batch of components into an [`ApproxLibrary`],
+    /// scheduling every synthesis and STA job of the whole batch over one
+    /// shared pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates synthesis/STA errors and invalid precision specs.
+    pub fn characterize_all(
+        &self,
+        configs: &[CharacterizationConfig],
+    ) -> Result<(ApproxLibrary, EngineReport), AixError> {
+        let (characterizations, report) = self.run(configs)?;
+        let mut library = ApproxLibrary::new();
+        for characterization in characterizations {
+            library.insert(characterization);
+        }
+        Ok((library, report))
+    }
+
+    /// The cache fingerprint of one synthesis job.
+    fn fingerprint(
+        &self,
+        kind: ComponentKind,
+        width: usize,
+        precision: usize,
+        effort: Effort,
+    ) -> u64 {
+        let mut hash = self.fingerprint_base;
+        fnv_eat(&mut hash, kind.label().as_bytes());
+        fnv_eat(&mut hash, &(width as u64).to_le_bytes());
+        fnv_eat(&mut hash, &(precision as u64).to_le_bytes());
+        fnv_eat(&mut hash, effort.token().as_bytes());
+        hash
+    }
+
+    fn run(
+        &self,
+        configs: &[CharacterizationConfig],
+    ) -> Result<(Vec<ComponentCharacterization>, EngineReport), AixError> {
+        let wall = Instant::now();
+        let jobs = self.options.resolved_jobs();
+        let model = AgingModel::calibrated();
+        let mut report = EngineReport {
+            jobs,
+            ..EngineReport::default()
+        };
+
+        // Plan: one synthesis job per (config, precision), probing the
+        // on-disk cache. A hit must cover every requested scenario.
+        let plan_start = Instant::now();
+        struct SynthJob {
+            config_index: usize,
+            precision: usize,
+            cache_path: Option<PathBuf>,
+            key_line: String,
+            /// Valid prior entries found on disk (token → delay). Used as
+            /// the result on a full hit and merged into the writeback on a
+            /// partial one.
+            prior: BTreeMap<String, f64>,
+            /// Whether `prior` covers every requested scenario.
+            hit: bool,
+        }
+        let mut plan: Vec<SynthJob> = Vec::new();
+        for (config_index, config) in configs.iter().enumerate() {
+            let tokens: Vec<String> = config
+                .scenarios
+                .iter()
+                .map(|&s| scenario_token(s.into()))
+                .collect();
+            for &precision in &config.precisions {
+                let fingerprint =
+                    self.fingerprint(config.kind, config.width, precision, config.effort);
+                let key_line = format!(
+                    "key {} {} {} {} {fingerprint:016x}",
+                    config.kind, config.width, precision, config.effort,
+                );
+                let cache_path = self.options.cache_dir.as_ref().map(|dir| {
+                    dir.join(format!(
+                        "{}-w{}-p{}-{}-{fingerprint:016x}.lib",
+                        config.kind, config.width, precision, config.effort,
+                    ))
+                });
+                let prior = cache_path
+                    .as_ref()
+                    .and_then(|path| read_cache_entries(path, &key_line, precision))
+                    .unwrap_or_default();
+                let hit = !tokens.is_empty() && tokens.iter().all(|t| prior.contains_key(t));
+                if cache_path.is_some() {
+                    if hit {
+                        report.cache_hits += 1;
+                    } else {
+                        report.cache_misses += 1;
+                    }
+                }
+                plan.push(SynthJob {
+                    config_index,
+                    precision,
+                    cache_path,
+                    key_line,
+                    prior,
+                    hit,
+                });
+            }
+        }
+        report.synth_planned = plan.len();
+        report.plan_ms = elapsed_ms(plan_start);
+
+        // Synthesis stage: pool over the cache misses. Results keep plan
+        // order, so the first error is deterministic under any job count.
+        let synth_start = Instant::now();
+        let to_synthesize: Vec<usize> = plan
+            .iter()
+            .enumerate()
+            .filter(|(_, job)| !job.hit)
+            .map(|(index, _)| index)
+            .collect();
+        report.synth_executed = to_synthesize.len();
+        let synthesized_list = parallel_map(jobs, to_synthesize, |index| {
+            let job = &plan[index];
+            let config = &configs[job.config_index];
+            let netlist = self.netlists.synthesize(
+                &self.cells,
+                config.kind,
+                config.width,
+                job.precision,
+                config.effort,
+            );
+            (index, netlist)
+        });
+        let mut netlists: HashMap<usize, Arc<Netlist>> = HashMap::new();
+        for (index, result) in synthesized_list {
+            netlists.insert(index, result?);
+        }
+        report.synth_ms = elapsed_ms(synth_start);
+
+        // STA stage: one job per (synthesized precision, scenario).
+        let sta_start = Instant::now();
+        let sta_plan: Vec<(usize, usize)> = plan
+            .iter()
+            .enumerate()
+            .filter(|(_, job)| !job.hit)
+            .flat_map(|(index, job)| {
+                (0..configs[job.config_index].scenarios.len()).map(move |s| (index, s))
+            })
+            .collect();
+        report.sta_executed = sta_plan.len();
+        let delays_list = parallel_map(jobs, sta_plan, |(index, scenario_index)| {
+            let job = &plan[index];
+            let config = &configs[job.config_index];
+            let netlist = &netlists[&index];
+            let scenario = config.scenarios[scenario_index];
+            let delays = NetDelays::aged(netlist, &model, scenario);
+            let delay = analyze(netlist, &delays).map(|r| quantize_ps(r.max_delay_ps()));
+            ((index, scenario_index), delay)
+        });
+        let mut delays: HashMap<(usize, usize), f64> = HashMap::new();
+        for (key, result) in delays_list {
+            delays.insert(key, result?);
+        }
+        report.sta_ms = elapsed_ms(sta_start);
+
+        // Merge in planned order — deterministic for any job count — and
+        // write misses back to the cache (best effort; a read-only cache
+        // directory degrades to cold runs, never to an error).
+        let merge_start = Instant::now();
+        let mut out: Vec<ComponentCharacterization> = configs
+            .iter()
+            .map(|c| ComponentCharacterization::new(c.kind, c.width, c.effort))
+            .collect();
+        for (index, job) in plan.iter().enumerate() {
+            let config = &configs[job.config_index];
+            if job.hit {
+                for &scenario in &config.scenarios {
+                    let token = scenario_token(scenario.into());
+                    out[job.config_index].add_entry(CharacterizationEntry {
+                        precision: job.precision,
+                        scenario: scenario.into(),
+                        delay_ps: job.prior[&token],
+                    });
+                }
+                continue;
+            }
+            let mut writeback = job.prior.clone();
+            for (scenario_index, &scenario) in config.scenarios.iter().enumerate() {
+                let delay_ps = delays[&(index, scenario_index)];
+                out[job.config_index].add_entry(CharacterizationEntry {
+                    precision: job.precision,
+                    scenario: scenario.into(),
+                    delay_ps,
+                });
+                writeback.insert(scenario_token(scenario.into()), delay_ps);
+            }
+            if let Some(path) = &job.cache_path {
+                let _ = write_cache_entries(path, &job.key_line, job.precision, &writeback);
+            }
+        }
+        for characterization in &mut out {
+            characterization.enforce_synthesis_monotonicity();
+        }
+        report.merge_ms = elapsed_ms(merge_start);
+        report.wall_ms = elapsed_ms(wall);
+        Ok((out, report))
+    }
+}
+
+/// FNV-1a over the cell library's content hash and the aging calibration
+/// token: the part of every cache fingerprint shared by all jobs.
+fn fingerprint_base(cells: &Library, calibration: &Calibration) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    fnv_eat(&mut hash, &cells.content_hash().to_le_bytes());
+    fnv_eat(&mut hash, calibration.fingerprint_token().as_bytes());
+    hash
+}
+
+fn fnv_eat(hash: &mut u64, bytes: &[u8]) {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    for &byte in bytes {
+        *hash ^= u64::from(byte);
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn elapsed_ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Quantizes a delay to the 6-decimal (sub-femtosecond) resolution of the
+/// library text format. Computed delays pass through the same rounding as
+/// delays reloaded from the cache, so characterizations are bit-identical
+/// in memory — not merely in serialized form — whether a run was cold,
+/// warm or mixed. The running minimum of the monotonicity pass commutes
+/// with this monotone rounding, so enforcement order cannot reintroduce a
+/// difference.
+fn quantize_ps(delay: f64) -> f64 {
+    format!("{delay:.6}")
+        .parse()
+        .expect("fixed-decimal formatting always reparses")
+}
+
+const CACHE_HEADER: &str = "aix-charcache v1";
+
+/// Reads and validates one cache file. Returns the entries (scenario token
+/// → delay) only when the file is intact *and* its key line matches
+/// `expected_key` — a stale fingerprint, wrong component, truncated file or
+/// any malformed line yields `None`, which the planner treats as a miss.
+fn read_cache_entries(
+    path: &Path,
+    expected_key: &str,
+    precision: usize,
+) -> Option<BTreeMap<String, f64>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    if lines.next()?.trim() != CACHE_HEADER {
+        return None;
+    }
+    if lines.next()?.trim() != expected_key {
+        return None;
+    }
+    let mut entries = BTreeMap::new();
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        if fields.next() != Some("entry") {
+            return None;
+        }
+        let entry_precision: usize = fields.next()?.parse().ok()?;
+        if entry_precision != precision {
+            return None;
+        }
+        let token = fields.next()?;
+        parse_scenario(token)?;
+        let delay: f64 = fields.next()?.parse().ok()?;
+        if !delay.is_finite() || delay < 0.0 {
+            return None;
+        }
+        entries.insert(token.to_owned(), delay);
+    }
+    Some(entries)
+}
+
+/// Writes one cache file atomically (temp file + rename), using the same
+/// 6-decimal delay format as [`ApproxLibrary::to_text`] so cached delays
+/// reformat to byte-identical library text.
+fn write_cache_entries(
+    path: &Path,
+    key_line: &str,
+    precision: usize,
+    entries: &BTreeMap<String, f64>,
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut text = format!("{CACHE_HEADER}\n{key_line}\n");
+    for (token, delay) in entries {
+        let _ = writeln!(text, "entry {precision} {token} {delay:.6}");
+    }
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CharacterizationScenario;
+    use aix_aging::{AgingScenario, Lifetime};
+
+    fn cells() -> Arc<Library> {
+        Arc::new(Library::nangate45_like())
+    }
+
+    #[test]
+    fn parallel_map_preserves_item_order() {
+        for jobs in [1, 2, 4, 9] {
+            let doubled = parallel_map(jobs, (0..50).collect(), |x: i32| x * 2);
+            assert_eq!(doubled, (0..50).map(|x| x * 2).collect::<Vec<_>>());
+        }
+        let empty: Vec<i32> = parallel_map(4, Vec::new(), |x: i32| x);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn fingerprints_separate_every_key_dimension() {
+        let engine = CharacterizationEngine::new(cells(), EngineOptions::sequential());
+        let base = engine.fingerprint(ComponentKind::Adder, 16, 12, Effort::Ultra);
+        for other in [
+            engine.fingerprint(ComponentKind::Mac, 16, 12, Effort::Ultra),
+            engine.fingerprint(ComponentKind::Adder, 32, 12, Effort::Ultra),
+            engine.fingerprint(ComponentKind::Adder, 16, 11, Effort::Ultra),
+            engine.fingerprint(ComponentKind::Adder, 16, 12, Effort::Medium),
+        ] {
+            assert_ne!(base, other);
+        }
+        // Stable across engines over the same cells and calibration.
+        let again = CharacterizationEngine::new(cells(), EngineOptions::sequential());
+        assert_eq!(
+            base,
+            again.fingerprint(ComponentKind::Adder, 16, 12, Effort::Ultra)
+        );
+    }
+
+    #[test]
+    fn netlist_cache_memoizes() {
+        let cells = cells();
+        let cache = NetlistCache::new();
+        let a = cache
+            .synthesize(&cells, ComponentKind::Adder, 8, 8, Effort::Medium)
+            .unwrap();
+        let b = cache
+            .synthesize(&cells, ComponentKind::Adder, 8, 8, Effort::Medium)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup is memoized");
+        assert_eq!(cache.len(), 1);
+        cache
+            .synthesize(&cells, ComponentKind::Adder, 8, 6, Effort::Medium)
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn engine_matches_sequential_characterization() {
+        let cells = cells();
+        let config = CharacterizationConfig::quick(ComponentKind::Adder, 12);
+        let engine = CharacterizationEngine::new(Arc::clone(&cells), EngineOptions::sequential());
+        let (c, report) = engine.characterize(&config).unwrap();
+        assert_eq!(report.synth_planned, config.precisions.len());
+        assert_eq!(report.synth_executed, config.precisions.len());
+        assert_eq!(
+            report.sta_executed,
+            config.precisions.len() * config.scenarios.len()
+        );
+        assert_eq!(report.cache_hits + report.cache_misses, 0, "no cache dir");
+        let aged = c
+            .delay_ps(
+                12,
+                CharacterizationScenario::Uniform(AgingScenario::worst_case(Lifetime::YEARS_10)),
+            )
+            .unwrap();
+        assert!(aged > c.fresh_full_delay_ps());
+    }
+
+    #[test]
+    fn bench_record_json_accumulates_runs() {
+        let dir = std::env::temp_dir().join(format!("aix-bench-json-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("BENCH_characterize.json");
+        let report = EngineReport {
+            jobs: 2,
+            wall_ms: 12.5,
+            ..EngineReport::default()
+        };
+        append_bench_record(&path, "cold", &report).unwrap();
+        append_bench_record(&path, "warm \"quoted\"", &report).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"schema\": \"aix-bench-characterize/v1\""));
+        assert_eq!(text.matches("{\"label\"").count(), 2);
+        assert!(text.contains("\"label\":\"cold\""));
+        assert!(text.contains("warm \\\"quoted\\\""));
+        assert!(text.contains("\"wall_ms\":12.500"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

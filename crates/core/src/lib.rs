@@ -46,6 +46,7 @@
 mod actual;
 mod characterize;
 mod component;
+mod engine;
 mod error;
 mod idct;
 mod library;
@@ -60,6 +61,10 @@ pub use characterize::{
     CharacterizationScenario, ComponentCharacterization,
 };
 pub use component::{ComponentKind, ParseComponentKindError};
+pub use engine::{
+    append_bench_record, default_bench_json_path, default_cache_dir, parallel_map,
+    CharacterizationEngine, EngineOptions, EngineReport, NetlistCache,
+};
 pub use error::AixError;
 pub use idct::{idct_design, IDCT_BLOCK_NAMES};
 pub use library::{ApproxLibrary, ParseLibraryError};

@@ -103,7 +103,7 @@ impl ApproxLibrary {
                 "component {} {} {}",
                 c.kind(),
                 c.width(),
-                effort_token(c.effort())
+                c.effort()
             );
             for e in c.entries() {
                 let _ = writeln!(
@@ -136,6 +136,7 @@ impl ApproxLibrary {
         }
         let mut library = ApproxLibrary::new();
         let mut current: Option<ComponentCharacterization> = None;
+        let mut declared: BTreeMap<(ComponentKind, usize), usize> = BTreeMap::new();
         for (index, raw) in lines {
             let line_no = index + 1;
             let line = raw.trim();
@@ -157,12 +158,21 @@ impl ApproxLibrary {
                         .next()
                         .and_then(|w| w.parse().ok())
                         .ok_or_else(|| err(line_no, "bad component width"))?;
-                    let effort = parse_effort(
-                        fields
-                            .next()
-                            .ok_or_else(|| err(line_no, "component effort missing"))?,
-                    )
-                    .ok_or_else(|| err(line_no, "unknown effort"))?;
+                    let effort: Effort = fields
+                        .next()
+                        .ok_or_else(|| err(line_no, "component effort missing"))?
+                        .parse()
+                        .map_err(|_| err(line_no, "unknown effort"))?;
+                    if let Some(first_line) = declared.insert((kind, width), line_no) {
+                        return Err(err(
+                            line_no,
+                            &format!(
+                                "duplicate `component {kind} {width}` record \
+                                 (first declared at line {first_line}); merging would \
+                                 silently overwrite the earlier characterization"
+                            ),
+                        ));
+                    }
                     current = Some(ComponentCharacterization::new(kind, width, effort));
                 }
                 Some("entry") => {
@@ -202,24 +212,7 @@ impl ApproxLibrary {
     }
 }
 
-fn effort_token(effort: Effort) -> &'static str {
-    match effort {
-        Effort::Area => "area",
-        Effort::Medium => "medium",
-        Effort::Ultra => "ultra",
-    }
-}
-
-fn parse_effort(token: &str) -> Option<Effort> {
-    match token {
-        "area" => Some(Effort::Area),
-        "medium" => Some(Effort::Medium),
-        "ultra" => Some(Effort::Ultra),
-        _ => None,
-    }
-}
-
-fn scenario_token(scenario: CharacterizationScenario) -> String {
+pub(crate) fn scenario_token(scenario: CharacterizationScenario) -> String {
     match scenario {
         CharacterizationScenario::Uniform(AgingScenario::Fresh) => "fresh".to_owned(),
         CharacterizationScenario::Uniform(AgingScenario::Aged { stress, lifetime }) => {
@@ -236,7 +229,7 @@ fn scenario_token(scenario: CharacterizationScenario) -> String {
     }
 }
 
-fn parse_scenario(token: &str) -> Option<CharacterizationScenario> {
+pub(crate) fn parse_scenario(token: &str) -> Option<CharacterizationScenario> {
     if token == "fresh" {
         return Some(CharacterizationScenario::Uniform(AgingScenario::Fresh));
     }
@@ -322,6 +315,28 @@ mod tests {
             );
         }
         assert_eq!(parsed.effort(), Effort::Ultra);
+    }
+
+    #[test]
+    fn duplicate_component_records_are_rejected_naming_both_lines() {
+        let text = "aix-approx-library v1\n\
+                    component adder 16 ultra\n\
+                    entry 16 fresh 300.0\n\
+                    component mac 8 medium\n\
+                    entry 8 fresh 120.0\n\
+                    component adder 16 ultra\n\
+                    entry 16 fresh 999.0\n";
+        let error = ApproxLibrary::from_text(text).unwrap_err();
+        let message = error.to_string();
+        assert!(message.contains("line 6"), "{message}");
+        assert!(message.contains("line 2"), "{message}");
+        assert!(message.contains("duplicate"), "{message}");
+        assert!(message.contains("adder 16"), "{message}");
+        // Distinct (kind, width) pairs still coexist.
+        let ok = "aix-approx-library v1\n\
+                  component adder 16 ultra\nentry 16 fresh 300.0\n\
+                  component adder 32 ultra\nentry 32 fresh 600.0\n";
+        assert_eq!(ApproxLibrary::from_text(ok).unwrap().len(), 2);
     }
 
     #[test]

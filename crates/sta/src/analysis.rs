@@ -69,16 +69,20 @@ pub fn analyze(netlist: &Netlist, delays: &NetDelays) -> Result<TimingReport, Ne
         .iter()
         .map(|(_, net)| arrival[net.index()])
         .collect();
-    let (critical_output, max_delay) = per_output
-        .iter()
-        .enumerate()
-        .fold((None, 0.0f64), |(best, max), (i, &t)| {
-            if t > max {
+    // Seed with the first output so a netlist whose outputs all arrive at
+    // exactly 0 ps (pass-through or constant outputs) still reports a
+    // critical output; ties keep the earliest port. An outputless netlist
+    // reports `None` and a 0 ps delay.
+    let (critical_output, max_delay) = per_output.iter().enumerate().fold(
+        (None, 0.0f64),
+        |(best, max), (i, &t)| {
+            if best.is_none() || t > max {
                 (Some(i), t)
             } else {
                 (best, max)
             }
-        });
+        },
+    );
     Ok(TimingReport {
         arrival_ps: arrival,
         max_delay_ps: max_delay,
@@ -184,6 +188,24 @@ mod tests {
             .map(|(_, net)| longest(&nl, &delays, *net))
             .fold(0.0f64, f64::max);
         assert!((report.max_delay_ps() - brute).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_delay_outputs_still_report_a_critical_output() {
+        // Regression: a pass-through netlist (outputs arriving at exactly
+        // 0 ps) used to report `critical_output = None`.
+        let lib = lib();
+        let mut nl = aix_netlist::Netlist::new("passthrough", lib.clone());
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        nl.mark_output("y0", a);
+        nl.mark_output("y1", b);
+        let delays = NetDelays::fresh(&nl);
+        let report = analyze(&nl, &delays).unwrap();
+        assert_eq!(report.max_delay_ps(), 0.0);
+        assert_eq!(report.critical_output(), Some(0), "ties keep the first port");
+        // No gates on the path, but the output itself is identified.
+        assert!(critical_path(&nl, &delays, &report).is_empty());
     }
 
     #[test]

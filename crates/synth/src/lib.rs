@@ -41,4 +41,4 @@ mod synthesizer;
 pub use aging_aware::{aging_aware_synthesize, AgingAwareOutcome};
 pub use opt::{constant_propagation, optimize, sweep_dead_gates};
 pub use sizing::{recover_area, size_for_performance, RecoveryOutcome, SizingOutcome};
-pub use synthesizer::{Effort, Synthesizer};
+pub use synthesizer::{Effort, ParseEffortError, Synthesizer};

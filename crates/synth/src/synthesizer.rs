@@ -51,10 +51,44 @@ impl Effort {
 
 impl fmt::Display for Effort {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+impl Effort {
+    /// Stable lower-case token, used by the approximation-library text
+    /// format and the characterization cache's file names and key lines.
+    /// [`FromStr`](std::str::FromStr) parses it back.
+    pub fn token(self) -> &'static str {
         match self {
-            Effort::Area => write!(f, "area"),
-            Effort::Medium => write!(f, "medium"),
-            Effort::Ultra => write!(f, "ultra"),
+            Effort::Area => "area",
+            Effort::Medium => "medium",
+            Effort::Ultra => "ultra",
+        }
+    }
+}
+
+/// Error returned when parsing an [`Effort`] token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEffortError(String);
+
+impl fmt::Display for ParseEffortError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown synthesis effort `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseEffortError {}
+
+impl std::str::FromStr for Effort {
+    type Err = ParseEffortError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "area" => Ok(Effort::Area),
+            "medium" => Ok(Effort::Medium),
+            "ultra" => Ok(Effort::Ultra),
+            other => Err(ParseEffortError(other.to_owned())),
         }
     }
 }
@@ -186,6 +220,15 @@ mod tests {
 
     fn lib() -> Arc<Library> {
         Arc::new(Library::nangate45_like())
+    }
+
+    #[test]
+    fn effort_tokens_roundtrip() {
+        for effort in Effort::ALL {
+            assert_eq!(effort.token().parse::<Effort>().unwrap(), effort);
+            assert_eq!(effort.to_string(), effort.token());
+        }
+        assert!("turbo".parse::<Effort>().is_err());
     }
 
     #[test]

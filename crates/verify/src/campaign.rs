@@ -11,10 +11,10 @@
 
 use crate::perturb::{entry_rng, Perturbation};
 use aix_aging::{AgingModel, AgingScenario};
-use aix_arith::ComponentSpec;
 use aix_cells::Library;
 use aix_core::{
     AixError, ApproxLibrary, CharacterizationScenario, ComponentCharacterization, ComponentKind,
+    NetlistCache,
 };
 use aix_sim::{measure_errors, OperandSource, SignedNormalOperands};
 use aix_sta::{analyze, NetDelays};
@@ -299,6 +299,32 @@ pub fn verify_deployment(
     scenario: CharacterizationScenario,
     config: &VerifyConfig,
 ) -> Result<EntryVerdict, AixError> {
+    verify_deployment_cached(
+        cells,
+        model,
+        characterization,
+        scenario,
+        config,
+        &NetlistCache::new(),
+    )
+}
+
+/// [`verify_deployment`] with an explicit netlist cache, so a whole
+/// campaign synthesizes each `(kind, width, precision)` netlist once — the
+/// full-width constraint netlist in particular is shared by every scenario
+/// of a characterization instead of being rebuilt per scenario.
+///
+/// # Errors
+///
+/// Propagates synthesis and STA failures.
+pub fn verify_deployment_cached(
+    cells: &Arc<Library>,
+    model: &AgingModel,
+    characterization: &ComponentCharacterization,
+    scenario: CharacterizationScenario,
+    config: &VerifyConfig,
+    netlists: &NetlistCache,
+) -> Result<EntryVerdict, AixError> {
     let kind = characterization.kind();
     let width = characterization.width();
     let effort = characterization.effort();
@@ -306,7 +332,7 @@ pub fn verify_deployment(
 
     // Re-derive the constraint from scratch — never trust the library's
     // own fresh anchor.
-    let full = kind.synthesize(cells, ComponentSpec::full(width), effort)?;
+    let full = netlists.synthesize(cells, kind, width, width, effort)?;
     let constraint_ps = analyze(&full, &NetDelays::fresh(&full))?.max_delay_ps();
 
     let Some(precision) = characterization.required_precision(scenario) else {
@@ -349,8 +375,7 @@ pub fn verify_deployment(
         });
     };
 
-    let spec = ComponentSpec::new(width, precision)?;
-    let netlist = kind.synthesize(cells, spec, effort)?;
+    let netlist = netlists.synthesize(cells, kind, width, precision, effort)?;
     let label = format!("{kind}-{width}-K{precision}@{scenario_label}");
     let (nominal, margins) =
         measure_margins(&netlist, model, aging, constraint_ps, config, &label)?;
@@ -410,15 +435,20 @@ pub fn verify_library(
     model: &AgingModel,
     config: &VerifyConfig,
 ) -> Result<CampaignReport, AixError> {
+    // One netlist cache for the whole campaign: every (kind, width,
+    // precision) — notably each component's full-width constraint netlist —
+    // is synthesized once, however many scenarios reference it.
+    let netlists = NetlistCache::new();
     let mut entries = Vec::new();
     for characterization in library.iter() {
         for scenario in aged_scenarios(characterization) {
-            entries.push(verify_deployment(
+            entries.push(verify_deployment_cached(
                 cells,
                 model,
                 characterization,
                 scenario,
                 config,
+                &netlists,
             )?);
         }
     }

@@ -54,8 +54,8 @@ pub mod perturb;
 pub mod policy;
 
 pub use campaign::{
-    measure_margins, verify_deployment, verify_library, CampaignReport, EntryVerdict,
-    MarginStats, VerdictKind, VerifyConfig,
+    measure_margins, verify_deployment, verify_deployment_cached, verify_library,
+    CampaignReport, EntryVerdict, MarginStats, VerdictKind, VerifyConfig,
 };
 pub use inject::{
     inject_delay_faults, stuck_at_campaign, DelayFault, DelayFaultOutcome, DelayFaultReport,

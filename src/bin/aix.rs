@@ -18,8 +18,8 @@ use aix::aging::{AgingModel, AgingScenario, Lifetime};
 use aix::arith::ComponentSpec;
 use aix::cells::{degradation_to_text, to_liberty, DegradationAwareLibrary, Library};
 use aix::core::{
-    characterize_component, idct_design, AixError, ApproxLibrary, CharacterizationConfig,
-    ComponentKind,
+    append_bench_record, default_bench_json_path, idct_design, AixError, ApproxLibrary,
+    CharacterizationConfig, CharacterizationEngine, ComponentKind, EngineOptions,
 };
 use aix::dct::DatapathPrecision;
 use aix::netlist::{to_dot, to_verilog};
@@ -31,6 +31,7 @@ use aix::verify::{
     VerifyError, VerifyPolicy,
 };
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::str::FromStr;
 use std::sync::Arc;
@@ -72,15 +73,21 @@ usage: aix <command> [--key value ...]
 
 commands:
   characterize  --kind adder|multiplier|mac --width N [--effort area|medium|ultra]
-                [--out FILE]      characterize a component and print/store the
-                                  aging-induced approximation library row
+                [--out FILE] [--jobs N] [--cache DIR] [--no-cache]
+                                  characterize a component and print/store the
+                                  aging-induced approximation library row;
+                                  runs on N workers (0 = auto, also AIX_JOBS)
+                                  over the persistent cache (default out/cache,
+                                  also AIX_CACHE; per-stage timings appended to
+                                  out/BENCH_characterize.json)
   flow          [--years N] [--stress worst|balanced] [--library FILE]
                 [--verify off|warn|degrade|failfast] [--samples N] [--seed N]
+                [--jobs N] [--cache DIR] [--no-cache]
                                   run the Fig. 6 flow on the IDCT design,
                                   optionally gated by Monte-Carlo verification
   verify        [--library FILE] [--samples N] [--seed N] [--margin PS]
                 [--sigma-global F] [--sigma-gate F] [--vectors N]
-                [--policy off|warn|degrade|failfast]
+                [--policy off|warn|degrade|failfast] [--jobs N] [--cache DIR]
                                   adversarially re-validate every library entry;
                                   exits non-zero iff a failfast violation is found
   error-rate    --kind adder|multiplier --width N [--years N] [--vectors N]
@@ -245,6 +252,34 @@ fn parse_verify_config(options: &HashMap<String, String>) -> Result<VerifyConfig
     })
 }
 
+/// Engine scheduling options: `--jobs N` (0 = auto), `--cache DIR` and
+/// `--no-cache` override the `AIX_JOBS` / `AIX_CACHE` environment.
+fn parse_engine_options(options: &HashMap<String, String>) -> Result<EngineOptions, AixError> {
+    let mut engine = EngineOptions::from_env();
+    if let Some(value) = get(options, "--jobs") {
+        engine.jobs = value.parse().map_err(|_| AixError::InvalidOption {
+            flag: "--jobs",
+            value: value.to_owned(),
+            expected: "a worker count (0 = auto)",
+        })?;
+    }
+    if get(options, "--no-cache").is_some() {
+        engine.cache_dir = None;
+    } else if let Some(dir) = get(options, "--cache") {
+        engine.cache_dir = Some(PathBuf::from(dir));
+    }
+    Ok(engine)
+}
+
+/// Records an engine run in `out/BENCH_characterize.json` and echoes the
+/// per-stage summary.
+fn record_engine_run(label: &str, report: &aix::core::EngineReport) -> Result<(), AixError> {
+    eprintln!("# engine: {}", report.summary());
+    let path = default_bench_json_path();
+    append_bench_record(&path, label, report)
+        .map_err(|e| AixError::io(path.display().to_string(), e))
+}
+
 fn read_library(path: &str) -> Result<ApproxLibrary, AixError> {
     let text = std::fs::read_to_string(path).map_err(|e| AixError::io(path, e))?;
     ApproxLibrary::from_text(&text).map_err(|e| AixError::library_file(path, e))
@@ -261,7 +296,9 @@ fn characterize(options: &HashMap<String, String>) -> CliResult {
     let cells = Arc::new(Library::nangate45_like());
     let mut config = CharacterizationConfig::paper_default(kind, width);
     config.effort = parse_effort(options)?;
-    let characterization = characterize_component(&cells, &config)?;
+    let engine = CharacterizationEngine::new(Arc::clone(&cells), parse_engine_options(options)?);
+    let (characterization, report) = engine.characterize(&config)?;
+    record_engine_run(&format!("characterize {kind} {width}"), &report)?;
     let mut library = ApproxLibrary::new();
     library.insert(characterization);
     let text = library.to_text();
@@ -296,17 +333,17 @@ fn flow(options: &HashMap<String, String>) -> CliResult {
         Some(path) => read_library(path)?,
         None => {
             eprintln!("(no --library given: characterizing the IDCT components, ~minutes)");
-            let mut library = ApproxLibrary::new();
-            for (kind, width) in [
+            let engine =
+                CharacterizationEngine::new(Arc::clone(&cells), parse_engine_options(options)?);
+            let configs: Vec<CharacterizationConfig> = [
                 (ComponentKind::Multiplier, 32),
                 (ComponentKind::Adder, 32),
                 (ComponentKind::Adder, 16),
-            ] {
-                library.insert(characterize_component(
-                    &cells,
-                    &CharacterizationConfig::paper_default(kind, width),
-                )?);
-            }
+            ]
+            .map(|(kind, width)| CharacterizationConfig::paper_default(kind, width))
+            .into();
+            let (library, report) = engine.characterize_all(&configs)?;
+            record_engine_run("flow idct-library", &report)?;
             library
         }
     };
@@ -380,13 +417,14 @@ fn verify(options: &HashMap<String, String>) -> CliResult {
         Some(path) => read_library(path)?,
         None => {
             eprintln!("(no --library given: characterizing a quick demo library)");
-            let mut library = ApproxLibrary::new();
-            for kind in [ComponentKind::Adder, ComponentKind::Multiplier] {
-                library.insert(characterize_component(
-                    &cells,
-                    &CharacterizationConfig::quick(kind, 16),
-                )?);
-            }
+            let engine =
+                CharacterizationEngine::new(Arc::clone(&cells), parse_engine_options(options)?);
+            let configs: Vec<CharacterizationConfig> =
+                [ComponentKind::Adder, ComponentKind::Multiplier]
+                    .map(|kind| CharacterizationConfig::quick(kind, 16))
+                    .into();
+            let (library, report) = engine.characterize_all(&configs)?;
+            record_engine_run("verify demo-library", &report)?;
             library
         }
     };
