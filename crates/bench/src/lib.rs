@@ -62,7 +62,7 @@ pub fn build_or_load_library(
             }
         }
     }
-    let engine = CharacterizationEngine::new(Arc::clone(cells), EngineOptions::from_env());
+    let engine = CharacterizationEngine::new(Arc::clone(cells), EngineOptions::from_env_strict()?);
     let mut configs: Vec<CharacterizationConfig> = ComponentKind::ALL
         .iter()
         .map(|&kind| CharacterizationConfig::paper_default(kind, STUDY_WIDTH))

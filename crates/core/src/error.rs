@@ -56,6 +56,26 @@ pub enum AixError {
         /// What the flag accepts, phrased for the error message.
         expected: &'static str,
     },
+    /// One guarded job of a campaign was quarantined: it panicked, timed
+    /// out, or exhausted its retry budget.
+    JobFailed {
+        /// The job, named as `kind wW pP [@scenario]`.
+        job: String,
+        /// Attempts spent, including retries.
+        attempts: usize,
+        /// Human-readable cause (error display, panic message, timeout).
+        reason: String,
+    },
+    /// A characterization campaign finished with quarantined jobs, in a
+    /// context that requires every job to succeed.
+    CampaignIncomplete {
+        /// Number of quarantined jobs.
+        failed: usize,
+        /// Number of jobs the campaign planned.
+        planned: usize,
+        /// The first failure, rendered like [`AixError::JobFailed`].
+        first: String,
+    },
 }
 
 impl fmt::Display for AixError {
@@ -77,6 +97,19 @@ impl fmt::Display for AixError {
                 value,
                 expected,
             } => write!(f, "bad {flag} `{value}`: expected {expected}"),
+            AixError::JobFailed {
+                job,
+                attempts,
+                reason,
+            } => write!(f, "job {job} failed after {attempts} attempt(s): {reason}"),
+            AixError::CampaignIncomplete {
+                failed,
+                planned,
+                first,
+            } => write!(
+                f,
+                "campaign incomplete: {failed} of {planned} job(s) failed; first: {first}"
+            ),
         }
     }
 }
@@ -91,7 +124,10 @@ impl Error for AixError {
             AixError::ComponentKind(e) => Some(e),
             AixError::LibraryFormat { source, .. } => Some(source),
             AixError::Io { source, .. } => Some(source),
-            AixError::MissingOption { .. } | AixError::InvalidOption { .. } => None,
+            AixError::MissingOption { .. }
+            | AixError::InvalidOption { .. }
+            | AixError::JobFailed { .. }
+            | AixError::CampaignIncomplete { .. } => None,
         }
     }
 }

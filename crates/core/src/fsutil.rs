@@ -1,0 +1,40 @@
+//! Crash-safe filesystem helpers shared by the characterization cache, the
+//! run journal and the benchmark log.
+
+use std::io;
+use std::path::Path;
+
+/// Writes `text` to `path` atomically: the bytes land in a temp file in the
+/// same directory (created if absent) which is then renamed over the
+/// target, so a killed or concurrent run can never leave a truncated file
+/// behind — readers observe either the old contents or the new ones.
+pub(crate) fn write_atomic(path: &Path, text: &str) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_write_replaces_contents_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("aix-fsutil-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("file.txt");
+        write_atomic(&path, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
+        write_atomic(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        let siblings: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(siblings.len(), 1, "no temp file left: {siblings:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,330 @@
+//! Per-job fault containment: panic isolation, a wall-clock watchdog and
+//! seeded retry with exponential backoff.
+//!
+//! Every synthesis and STA job of a campaign runs through [`JobGuard::run`]
+//! so that one misbehaving job — a panic, a hang, a transient I/O failure —
+//! is converted into a structured per-job outcome instead of taking the
+//! whole process (or, through mutex poisoning, every sibling worker) down.
+
+use crate::AixError;
+use aix_faults::{FaultPlan, FaultStage};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Renders a caught panic payload (`&str` or `String`, the payloads
+/// `panic!` produces) as a message for failure reports.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// How one job is allowed to fail.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct JobGuard {
+    /// Wall-clock bound per attempt; `None` disables the watchdog (the job
+    /// runs inline on the worker thread).
+    pub timeout: Option<Duration>,
+    /// Extra attempts granted to *transient* failures (I/O errors and
+    /// timeouts). Panics and structural errors never retry.
+    pub retries: usize,
+    /// Base of the exponential backoff between attempts, in milliseconds;
+    /// `0` retries immediately.
+    pub backoff_ms: u64,
+    /// Fault plan injected at this guard's sites, for testing the guard
+    /// itself.
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+/// Why a guarded job ultimately failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct JobError {
+    /// Human-readable cause: the error display, panic message, or timeout.
+    pub reason: String,
+    /// Attempts spent, including the failing one.
+    pub attempts: usize,
+    /// Whether the last attempt was killed by the watchdog.
+    pub timed_out: bool,
+    /// Whether the last attempt panicked.
+    pub panicked: bool,
+}
+
+enum Attempt<T> {
+    Finished(Result<T, AixError>),
+    Panicked(String),
+    TimedOut,
+}
+
+impl JobGuard {
+    /// Runs one job to completion under this guard. `make` is called once
+    /// per attempt and must return a fresh closure performing the work;
+    /// attempts are numbered from 1 and fed to the fault plan, so injected
+    /// transient faults can deterministically clear on retry.
+    ///
+    /// Returns the job's value and the attempts spent, or a [`JobError`]
+    /// describing the exhausted failure.
+    pub fn run<T, W, F>(
+        &self,
+        stage: FaultStage,
+        site: &str,
+        mut make: F,
+    ) -> Result<(T, usize), JobError>
+    where
+        T: Send + 'static,
+        W: FnOnce() -> Result<T, AixError> + Send + 'static,
+        F: FnMut() -> W,
+    {
+        let mut attempt = 0usize;
+        loop {
+            attempt += 1;
+            let work = make();
+            let faults = self.faults.clone();
+            let site_owned = site.to_owned();
+            let guarded = move || -> Result<T, AixError> {
+                if let Some(plan) = &faults {
+                    plan.check(stage, &site_owned, attempt).map_err(|e| {
+                        AixError::io(format!("{stage} site `{site_owned}`"), e)
+                    })?;
+                }
+                work()
+            };
+            let outcome = match self.timeout {
+                None => match catch_unwind(AssertUnwindSafe(guarded)) {
+                    Ok(result) => Attempt::Finished(result),
+                    Err(payload) => Attempt::Panicked(panic_message(payload)),
+                },
+                Some(limit) => {
+                    // The attempt runs on its own (unscoped) thread so the
+                    // watchdog can abandon it: a hung attempt is left
+                    // detached and its eventual result discarded.
+                    let (tx, rx) = mpsc::channel();
+                    let handle = std::thread::Builder::new()
+                        .name(format!("aix-job {site}"))
+                        .spawn(move || {
+                            let _ = tx.send(catch_unwind(AssertUnwindSafe(guarded)));
+                        })
+                        .expect("spawn job watchdog thread");
+                    match rx.recv_timeout(limit) {
+                        Ok(Ok(result)) => {
+                            let _ = handle.join();
+                            Attempt::Finished(result)
+                        }
+                        Ok(Err(payload)) => {
+                            let _ = handle.join();
+                            Attempt::Panicked(panic_message(payload))
+                        }
+                        Err(_) => Attempt::TimedOut,
+                    }
+                }
+            };
+            match outcome {
+                Attempt::Finished(Ok(value)) => return Ok((value, attempt)),
+                Attempt::Finished(Err(error)) => {
+                    // I/O failures (real or injected) are transient; any
+                    // other error is structural and retrying cannot help.
+                    let transient = matches!(error, AixError::Io { .. });
+                    if transient && attempt <= self.retries {
+                        self.backoff(site, attempt);
+                        continue;
+                    }
+                    return Err(JobError {
+                        reason: error.to_string(),
+                        attempts: attempt,
+                        timed_out: false,
+                        panicked: false,
+                    });
+                }
+                Attempt::TimedOut => {
+                    if attempt <= self.retries {
+                        self.backoff(site, attempt);
+                        continue;
+                    }
+                    return Err(JobError {
+                        reason: format!(
+                            "timed out after {:.3} s",
+                            self.timeout.unwrap_or_default().as_secs_f64()
+                        ),
+                        attempts: attempt,
+                        timed_out: true,
+                        panicked: false,
+                    });
+                }
+                Attempt::Panicked(message) => {
+                    return Err(JobError {
+                        reason: format!("panicked: {message}"),
+                        attempts: attempt,
+                        timed_out: false,
+                        panicked: true,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Sleeps before retry `attempt + 1`: exponential in the attempt number
+    /// with a deterministic per-site jitter, so colliding retries from
+    /// parallel workers spread out the same way on every run.
+    fn backoff(&self, site: &str, attempt: usize) {
+        if self.backoff_ms == 0 {
+            return;
+        }
+        let exponent = (attempt - 1).min(6) as u32;
+        let jitter = site_hash(site, attempt) % self.backoff_ms;
+        let sleep_ms = self.backoff_ms.saturating_mul(1 << exponent) + jitter;
+        std::thread::sleep(Duration::from_millis(sleep_ms));
+    }
+}
+
+fn site_hash(site: &str, attempt: usize) -> u64 {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in site.bytes().chain((attempt as u64).to_le_bytes()) {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn guard(retries: usize) -> JobGuard {
+        JobGuard {
+            timeout: None,
+            retries,
+            backoff_ms: 0,
+            faults: None,
+        }
+    }
+
+    #[test]
+    fn success_passes_through_with_one_attempt() {
+        let (value, attempts) = guard(3)
+            .run(FaultStage::Synth, "ok", || || Ok(41 + 1))
+            .unwrap();
+        assert_eq!(value, 42);
+        assert_eq!(attempts, 1);
+    }
+
+    #[test]
+    fn panic_is_contained_and_never_retried() {
+        let calls = AtomicUsize::new(0);
+        let err = guard(5)
+            .run(FaultStage::Synth, "boom", || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                || -> Result<(), AixError> { panic!("kaput") }
+            })
+            .unwrap_err();
+        assert!(err.panicked);
+        assert!(err.reason.contains("kaput"));
+        assert_eq!(err.attempts, 1);
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "panics must not retry");
+    }
+
+    #[test]
+    fn transient_io_retries_until_budget_then_fails() {
+        let calls = AtomicUsize::new(0);
+        let (value, attempts) = guard(2)
+            .run(FaultStage::Cache, "flaky", || {
+                let n = calls.fetch_add(1, Ordering::SeqCst);
+                move || -> Result<&'static str, AixError> {
+                    if n < 2 {
+                        Err(AixError::io(
+                            "flaky",
+                            std::io::Error::other("transient"),
+                        ))
+                    } else {
+                        Ok("recovered")
+                    }
+                }
+            })
+            .unwrap();
+        assert_eq!(value, "recovered");
+        assert_eq!(attempts, 3);
+
+        let err = guard(1)
+            .run(FaultStage::Cache, "hopeless", || {
+                || -> Result<(), AixError> {
+                    Err(AixError::io("always", std::io::Error::other("down")))
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err.attempts, 2, "1 retry = 2 attempts");
+        assert!(!err.panicked && !err.timed_out);
+    }
+
+    #[test]
+    fn structural_errors_never_retry() {
+        let calls = AtomicUsize::new(0);
+        let err = guard(5)
+            .run(FaultStage::Synth, "bad-spec", || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                || -> Result<(), AixError> {
+                    Err(AixError::MissingOption { flag: "--width" })
+                }
+            })
+            .unwrap_err();
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(err.attempts, 1);
+    }
+
+    #[test]
+    fn watchdog_quarantines_hung_jobs() {
+        let slow = JobGuard {
+            timeout: Some(Duration::from_millis(25)),
+            retries: 0,
+            backoff_ms: 0,
+            faults: None,
+        };
+        let err = slow
+            .run(FaultStage::Sta, "hang", || {
+                || -> Result<(), AixError> {
+                    std::thread::sleep(Duration::from_millis(400));
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+        assert!(err.timed_out);
+        assert!(err.reason.contains("timed out"));
+
+        // A fast job under the same watchdog succeeds normally.
+        let (value, _) = slow
+            .run(FaultStage::Sta, "fast", || || Ok(7))
+            .unwrap();
+        assert_eq!(value, 7);
+    }
+
+    #[test]
+    fn injected_io_fault_clears_on_retry() {
+        // p=1 on attempt 1 only is impossible; instead pick a seeded
+        // probability and find a site where attempt 1 fires but a later
+        // attempt does not — then assert the guard recovers exactly there.
+        let plan: Arc<FaultPlan> = Arc::new("io:p=0.5,seed=9".parse().unwrap());
+        let site = (0..200)
+            .map(|i| format!("synth probe-{i}"))
+            .find(|s| {
+                plan.specs()[0].fires(FaultStage::Synth, s, 1)
+                    && !plan.specs()[0].fires(FaultStage::Synth, s, 2)
+            })
+            .expect("some site recovers on attempt 2");
+        let flaky = JobGuard {
+            timeout: None,
+            retries: 1,
+            backoff_ms: 0,
+            faults: Some(plan),
+        };
+        let (value, attempts) = flaky
+            .run(FaultStage::Synth, &site, || || Ok("made it"))
+            .unwrap();
+        assert_eq!(value, "made it");
+        assert_eq!(attempts, 2);
+    }
+}

@@ -1,0 +1,241 @@
+//! The write-ahead run journal: crash-safe campaign resume.
+//!
+//! A characterization campaign records its identity and per-job progress in
+//! a journal file under the journal directory (default `out/journal/`).
+//! Every append rewrites the file through the same atomic temp-file + rename
+//! discipline as the characterization cache, so a `SIGKILL` at any instant
+//! leaves either the previous journal or the new one — never a torn file.
+//!
+//! Layout (`campaign-<fingerprint>.journal`):
+//!
+//! ```text
+//! aix-journal v1
+//! campaign <16-hex campaign fingerprint>
+//! plan <job count>
+//! done <16-hex job fingerprint> <precision> <scenario token> <delay ps>
+//! failed <16-hex job fingerprint> <stage> <attempts> <reason …>
+//! ```
+//!
+//! `done` lines mirror the cache's `entry` records (same 6-decimal delay
+//! format), so a resumed run rebuilds byte-identical library text from the
+//! journal alone — the journal makes resume independent of the cache, and
+//! `--resume --no-cache` works. A journal whose campaign fingerprint does
+//! not match the planned campaign is ignored wholesale: stale journals can
+//! never leak results across configurations, cell libraries or calibrations.
+
+use crate::fsutil::write_atomic;
+use crate::library::parse_scenario;
+use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
+
+const JOURNAL_HEADER: &str = "aix-journal v1";
+
+/// One campaign's write-ahead journal.
+#[derive(Debug)]
+pub(crate) struct RunJournal {
+    path: PathBuf,
+    /// Record lines after the header/campaign/plan preamble, in append
+    /// order.
+    lines: Vec<String>,
+    campaign: u64,
+    planned: usize,
+    /// Completed jobs loaded on resume or recorded this run:
+    /// job fingerprint → scenario token → quantized delay.
+    done: HashMap<u64, BTreeMap<String, f64>>,
+}
+
+impl RunJournal {
+    /// Opens the journal for `campaign` under `dir`. With `resume`, prior
+    /// `done` records of a matching journal file are loaded (and carried
+    /// over into the rewritten file); otherwise any existing journal for
+    /// this campaign is discarded and the run starts a fresh one. Prior
+    /// `failed` records are never carried over — a resumed run retries
+    /// quarantined jobs.
+    pub fn open(dir: &Path, campaign: u64, resume: bool) -> Self {
+        let path = dir.join(format!("campaign-{campaign:016x}.journal"));
+        let mut journal = Self {
+            path,
+            lines: Vec::new(),
+            campaign,
+            planned: 0,
+            done: HashMap::new(),
+        };
+        if resume {
+            journal.load();
+        }
+        journal
+    }
+
+    /// Loads `done` records from an existing, intact journal whose campaign
+    /// fingerprint matches. Malformed lines are skipped — a torn line can
+    /// only cost re-execution, never correctness.
+    fn load(&mut self) {
+        let Ok(text) = std::fs::read_to_string(&self.path) else {
+            return;
+        };
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(JOURNAL_HEADER) {
+            return;
+        }
+        let campaign_ok = lines
+            .next()
+            .and_then(|line| line.trim().strip_prefix("campaign "))
+            .and_then(|fp| u64::from_str_radix(fp.trim(), 16).ok())
+            .is_some_and(|fp| fp == self.campaign);
+        if !campaign_ok {
+            return;
+        }
+        for line in lines {
+            let mut fields = line.split_whitespace();
+            if fields.next() != Some("done") {
+                continue;
+            }
+            let Some(job) = fields.next().and_then(|f| u64::from_str_radix(f, 16).ok()) else {
+                continue;
+            };
+            let Some(_precision) = fields.next().and_then(|f| f.parse::<usize>().ok()) else {
+                continue;
+            };
+            let Some(token) = fields.next() else { continue };
+            if parse_scenario(token).is_none() {
+                continue;
+            }
+            let Some(delay) = fields.next().and_then(|f| f.parse::<f64>().ok()) else {
+                continue;
+            };
+            if !delay.is_finite() || delay < 0.0 {
+                continue;
+            }
+            self.lines.push(line.trim().to_owned());
+            self.done.entry(job).or_default().insert(token.to_owned(), delay);
+        }
+    }
+
+    /// The delays a prior run completed for `job`, when it covers every
+    /// token in `required`.
+    pub fn completed(&self, job: u64, required: &[String]) -> Option<&BTreeMap<String, f64>> {
+        let entries = self.done.get(&job)?;
+        (!required.is_empty() && required.iter().all(|t| entries.contains_key(t)))
+            .then_some(entries)
+    }
+
+    /// Records the planned job count and persists the journal preamble —
+    /// the write-ahead step, before any job runs.
+    pub fn record_plan(&mut self, planned: usize) {
+        self.planned = planned;
+        self.flush();
+    }
+
+    /// Records one job as done with its scenario delays and persists.
+    /// Idempotent: a job already recorded (e.g. loaded on resume) is not
+    /// duplicated.
+    pub fn record_done(&mut self, job: u64, precision: usize, entries: &BTreeMap<String, f64>) {
+        let known = self.done.entry(job).or_default();
+        let mut appended = false;
+        for (token, delay) in entries {
+            if known.contains_key(token) {
+                continue;
+            }
+            known.insert(token.clone(), *delay);
+            self.lines
+                .push(format!("done {job:016x} {precision} {token} {delay:.6}"));
+            appended = true;
+        }
+        if appended {
+            self.flush();
+        }
+    }
+
+    /// Records one job failure and persists.
+    pub fn record_failed(&mut self, job: u64, stage: &str, attempts: usize, reason: &str) {
+        let reason = reason.replace(['\n', '\r'], " ");
+        self.lines
+            .push(format!("failed {job:016x} {stage} {attempts} {reason}"));
+        self.flush();
+    }
+
+    /// Rewrites the journal file atomically. Best effort, like cache
+    /// writebacks: an unwritable journal directory degrades to
+    /// non-resumable runs, never to a failed campaign.
+    fn flush(&self) {
+        let mut text = format!(
+            "{JOURNAL_HEADER}\ncampaign {:016x}\nplan {}\n",
+            self.campaign, self.planned
+        );
+        for line in &self.lines {
+            text.push_str(line);
+            text.push('\n');
+        }
+        let _ = write_atomic(&self.path, &text);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("aix-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn delays(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(t, d)| ((*t).to_owned(), *d)).collect()
+    }
+
+    #[test]
+    fn done_records_roundtrip_through_resume() {
+        let dir = fresh_dir("roundtrip");
+        let mut journal = RunJournal::open(&dir, 0xabcd, false);
+        journal.record_plan(3);
+        journal.record_done(7, 12, &delays(&[("fresh", 101.5), ("wc:10", 120.25)]));
+        journal.record_failed(8, "synth", 2, "panicked: kaput\nwith newline");
+
+        let resumed = RunJournal::open(&dir, 0xabcd, true);
+        let tokens = vec!["fresh".to_owned(), "wc:10".to_owned()];
+        let entries = resumed.completed(7, &tokens).expect("job 7 is done");
+        assert_eq!(entries["fresh"], 101.5);
+        assert_eq!(entries["wc:10"], 120.25);
+        // Partial coverage does not count as done.
+        let more = vec!["fresh".to_owned(), "wc:10".to_owned(), "bal:10".to_owned()];
+        assert!(resumed.completed(7, &more).is_none());
+        // Failures are not carried over: the failed job is retried.
+        assert!(resumed.completed(8, &tokens).is_none());
+        let text = std::fs::read_to_string(dir.join("campaign-000000000000abcd.journal")).unwrap();
+        assert!(text.contains("failed 0000000000000008 synth 2 panicked: kaput with newline"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fresh_open_discards_prior_records() {
+        let dir = fresh_dir("fresh");
+        let mut journal = RunJournal::open(&dir, 1, false);
+        journal.record_plan(1);
+        journal.record_done(7, 12, &delays(&[("fresh", 10.0)]));
+        let fresh = RunJournal::open(&dir, 1, false);
+        assert!(fresh.completed(7, &["fresh".to_owned()]).is_none());
+    }
+
+    #[test]
+    fn mismatched_campaign_and_torn_lines_are_ignored() {
+        let dir = fresh_dir("mismatch");
+        let mut journal = RunJournal::open(&dir, 2, false);
+        journal.record_plan(1);
+        journal.record_done(9, 8, &delays(&[("fresh", 55.0)]));
+        // A different campaign fingerprint never sees these records.
+        let other = RunJournal::open(&dir, 3, true);
+        assert!(other.completed(9, &["fresh".to_owned()]).is_none());
+
+        // Corrupt the file with torn/garbage lines: loading skips them.
+        let path = dir.join("campaign-0000000000000002.journal");
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("done zzzz 8 fresh 1.0\ndone 0000000000000009 8 notascenario 1.0\ndone 0000000000000009 8 wc:10 -4.0\ngarbage\n");
+        std::fs::write(&path, text).unwrap();
+        let resumed = RunJournal::open(&dir, 2, true);
+        assert!(resumed.completed(9, &["fresh".to_owned()]).is_some());
+        assert!(resumed.completed(9, &["wc:10".to_owned()]).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

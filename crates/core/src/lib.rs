@@ -48,7 +48,10 @@ mod characterize;
 mod component;
 mod engine;
 mod error;
+mod fsutil;
+mod guard;
 mod idct;
+mod journal;
 mod library;
 mod microarch;
 mod quality;
@@ -62,10 +65,12 @@ pub use characterize::{
 };
 pub use component::{ComponentKind, ParseComponentKindError};
 pub use engine::{
-    append_bench_record, default_bench_json_path, default_cache_dir, parallel_map,
-    CharacterizationEngine, EngineOptions, EngineReport, NetlistCache,
+    append_bench_record, default_bench_json_path, default_cache_dir, default_journal_dir,
+    parallel_map, Campaign, CampaignStatus, CharacterizationEngine, EngineOptions, EngineReport,
+    JobFailure, NetlistCache, FAULT_GRAMMAR,
 };
 pub use error::AixError;
+pub use guard::panic_message;
 pub use idct::{idct_design, IDCT_BLOCK_NAMES};
 pub use library::{ApproxLibrary, ParseLibraryError};
 pub use microarch::{

@@ -27,6 +27,7 @@ fn engine(jobs: usize, cache_dir: Option<&Path>) -> CharacterizationEngine {
         EngineOptions {
             jobs,
             cache_dir: cache_dir.map(Path::to_path_buf),
+            ..EngineOptions::sequential()
         },
     )
 }

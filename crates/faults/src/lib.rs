@@ -1,0 +1,478 @@
+//! Deterministic infrastructure fault injection.
+//!
+//! `aix-verify` injects faults into the *netlist* to measure how observable
+//! a guarantee violation would be in silicon. This crate aims the same idea
+//! at the *infrastructure*: seeded, reproducible faults inside the
+//! synthesis, STA and cache paths of a characterization campaign, so the
+//! engine's own failure handling — panic isolation, retry with backoff,
+//! quarantine, resume — is itself testable.
+//!
+//! A [`FaultPlan`] is parsed from the `AIX_FAULT` environment variable (or
+//! the `--fault` CLI flag) using a small grammar:
+//!
+//! ```text
+//! AIX_FAULT = spec (";" spec)*
+//! spec      = mode [":" param ("," param)*]
+//! mode      = "panic" | "io" | "delay"
+//! param     = "p=" FLOAT        probability in [0, 1]   (default 1)
+//!           | "seed=" INT       decision seed           (default 0)
+//!           | "stage=" STAGE    synth | sta | cache     (default: all)
+//!           | "ms=" INT         delay duration, ms      (default 10)
+//! ```
+//!
+//! For example `panic:p=0.05,seed=7` panics in roughly 5 % of fault sites,
+//! and `io:p=0.5,seed=3,stage=cache;delay:p=0.1,ms=50` combines an I/O
+//! fault in the cache path with a scheduling delay everywhere.
+//!
+//! Whether a fault fires depends **only** on `(seed, stage, site, attempt)`
+//! — never on wall-clock, thread scheduling or iteration order — so a run
+//! under a given plan is exactly reproducible at any job count, and a retry
+//! (which bumps `attempt`) can deterministically succeed where the first
+//! attempt was made to fail.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// What an injected fault does at the site it fires on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Panic, as a buggy or resource-exhausted job would.
+    Panic,
+    /// Surface an `std::io::Error` (the transient-failure shape: cache I/O,
+    /// filesystem hiccups).
+    Io,
+    /// Sleep for the spec's `ms`, modelling a hung or very slow job; pairs
+    /// with the engine's per-job timeout watchdog.
+    Delay,
+}
+
+impl FaultMode {
+    fn token(self) -> &'static str {
+        match self {
+            FaultMode::Panic => "panic",
+            FaultMode::Io => "io",
+            FaultMode::Delay => "delay",
+        }
+    }
+}
+
+/// The infrastructure path a fault site belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultStage {
+    /// Component synthesis.
+    Synth,
+    /// Static timing analysis.
+    Sta,
+    /// The persistent characterization cache (reads and writes).
+    Cache,
+}
+
+impl FaultStage {
+    /// Stable lower-case token used by the grammar and in site hashes.
+    pub fn token(self) -> &'static str {
+        match self {
+            FaultStage::Synth => "synth",
+            FaultStage::Sta => "sta",
+            FaultStage::Cache => "cache",
+        }
+    }
+}
+
+impl fmt::Display for FaultStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// One parsed fault specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// What firing does.
+    pub mode: FaultMode,
+    /// Probability a site fires, in `[0, 1]`.
+    pub probability: f64,
+    /// Seed of the per-site decision hash.
+    pub seed: u64,
+    /// Restrict to one stage; `None` fires on every stage.
+    pub stage: Option<FaultStage>,
+    /// Sleep duration for [`FaultMode::Delay`], in milliseconds.
+    pub delay_ms: u64,
+}
+
+impl FaultSpec {
+    /// Whether this spec fires at `(stage, site, attempt)`. Pure function
+    /// of the spec and its arguments.
+    pub fn fires(&self, stage: FaultStage, site: &str, attempt: usize) -> bool {
+        if self.stage.is_some_and(|s| s != stage) {
+            return false;
+        }
+        if self.probability <= 0.0 {
+            return false;
+        }
+        if self.probability >= 1.0 {
+            return true;
+        }
+        let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        fnv_eat(&mut hash, self.mode.token().as_bytes());
+        fnv_eat(&mut hash, stage.token().as_bytes());
+        fnv_eat(&mut hash, site.as_bytes());
+        fnv_eat(&mut hash, &(attempt as u64).to_le_bytes());
+        // Map the hash to [0, 1) with 20 bits of resolution.
+        let unit = (hash >> 44) as f64 / (1u64 << 20) as f64;
+        unit < self.probability
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:p={},seed={}", self.mode.token(), self.probability, self.seed)?;
+        if let Some(stage) = self.stage {
+            write!(f, ",stage={stage}")?;
+        }
+        if self.mode == FaultMode::Delay {
+            write!(f, ",ms={}", self.delay_ms)?;
+        }
+        Ok(())
+    }
+}
+
+/// A parsed `AIX_FAULT` value: the fault specs to evaluate at every site.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+}
+
+/// Error produced by parsing a malformed fault specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFaultError {
+    what: String,
+}
+
+impl ParseFaultError {
+    fn new(what: impl Into<String>) -> Self {
+        Self { what: what.into() }
+    }
+}
+
+impl fmt::Display for ParseFaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: expected `mode[:p=F,seed=N,stage=synth|sta|cache,ms=N]` \
+             with mode panic|io|delay, `;`-separated",
+            self.what
+        )
+    }
+}
+
+impl std::error::Error for ParseFaultError {}
+
+impl FromStr for FaultPlan {
+    type Err = ParseFaultError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut specs = Vec::new();
+        for part in s.split(';') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (mode_token, params) = match part.split_once(':') {
+                Some((m, p)) => (m.trim(), Some(p)),
+                None => (part, None),
+            };
+            let mode = match mode_token {
+                "panic" => FaultMode::Panic,
+                "io" => FaultMode::Io,
+                "delay" => FaultMode::Delay,
+                other => return Err(ParseFaultError::new(format!("unknown fault mode `{other}`"))),
+            };
+            let mut spec = FaultSpec {
+                mode,
+                probability: 1.0,
+                seed: 0,
+                stage: None,
+                delay_ms: 10,
+            };
+            for param in params.into_iter().flat_map(|p| p.split(',')) {
+                let param = param.trim();
+                if param.is_empty() {
+                    continue;
+                }
+                let Some((key, value)) = param.split_once('=') else {
+                    return Err(ParseFaultError::new(format!("malformed parameter `{param}`")));
+                };
+                match key.trim() {
+                    "p" => {
+                        let p: f64 = value.parse().map_err(|_| {
+                            ParseFaultError::new(format!("bad probability `{value}`"))
+                        })?;
+                        if !(0.0..=1.0).contains(&p) {
+                            return Err(ParseFaultError::new(format!(
+                                "probability `{value}` outside [0, 1]"
+                            )));
+                        }
+                        spec.probability = p;
+                    }
+                    "seed" => {
+                        spec.seed = value
+                            .parse()
+                            .map_err(|_| ParseFaultError::new(format!("bad seed `{value}`")))?;
+                    }
+                    "stage" => {
+                        spec.stage = Some(match value.trim() {
+                            "synth" => FaultStage::Synth,
+                            "sta" => FaultStage::Sta,
+                            "cache" => FaultStage::Cache,
+                            other => {
+                                return Err(ParseFaultError::new(format!(
+                                    "unknown stage `{other}`"
+                                )))
+                            }
+                        });
+                    }
+                    "ms" => {
+                        spec.delay_ms = value
+                            .parse()
+                            .map_err(|_| ParseFaultError::new(format!("bad delay `{value}`")))?;
+                    }
+                    other => {
+                        return Err(ParseFaultError::new(format!("unknown parameter `{other}`")))
+                    }
+                }
+            }
+            specs.push(spec);
+        }
+        if specs.is_empty() {
+            return Err(ParseFaultError::new("empty fault specification"));
+        }
+        Ok(FaultPlan { specs })
+    }
+}
+
+/// Re-renders every spec, `;`-separated, in a form `FromStr` reparses.
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (index, spec) in self.specs.iter().enumerate() {
+            if index > 0 {
+                f.write_str(";")?;
+            }
+            write!(f, "{spec}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FaultPlan {
+    /// The parsed specs, in declaration order.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// Evaluates every spec at `(stage, site, attempt)`. Delay faults sleep
+    /// and evaluation continues; the first firing panic fault panics with a
+    /// message naming the site; the first firing I/O fault returns an
+    /// injected [`std::io::Error`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected error when an `io` spec fires.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a `panic` spec fires — by design; callers isolate jobs
+    /// with `catch_unwind`.
+    pub fn check(
+        &self,
+        stage: FaultStage,
+        site: &str,
+        attempt: usize,
+    ) -> Result<(), std::io::Error> {
+        for spec in &self.specs {
+            if !spec.fires(stage, site, attempt) {
+                continue;
+            }
+            match spec.mode {
+                FaultMode::Delay => std::thread::sleep(Duration::from_millis(spec.delay_ms)),
+                FaultMode::Panic => panic!(
+                    "injected fault: panic at {stage} site `{site}` (attempt {attempt})"
+                ),
+                FaultMode::Io => {
+                    return Err(std::io::Error::other(format!(
+                        "injected fault: I/O error at {stage} site `{site}` (attempt {attempt})"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Like [`check`](Self::check), for call sites with no error channel
+    /// (deep inside synthesis): honours panic and delay specs, ignores
+    /// `io` specs.
+    pub fn probe(&self, stage: FaultStage, site: &str, attempt: usize) {
+        for spec in &self.specs {
+            if spec.mode == FaultMode::Io || !spec.fires(stage, site, attempt) {
+                continue;
+            }
+            match spec.mode {
+                FaultMode::Delay => std::thread::sleep(Duration::from_millis(spec.delay_ms)),
+                FaultMode::Panic => panic!(
+                    "injected fault: panic at {stage} site `{site}` (attempt {attempt})"
+                ),
+                FaultMode::Io => unreachable!("filtered above"),
+            }
+        }
+    }
+}
+
+/// The process-wide plan parsed from `AIX_FAULT`, if any. Parsed once; a
+/// malformed value is reported to stderr once and ignored here — the `aix`
+/// CLI additionally validates `AIX_FAULT` strictly at startup and turns the
+/// same malformed value into a proper diagnostic.
+pub fn env_plan() -> Option<&'static FaultPlan> {
+    static PLAN: OnceLock<Option<FaultPlan>> = OnceLock::new();
+    PLAN.get_or_init(|| {
+        let value = std::env::var("AIX_FAULT").ok()?;
+        match value.parse::<FaultPlan>() {
+            Ok(plan) => Some(plan),
+            Err(e) => {
+                eprintln!("warning: ignoring malformed AIX_FAULT `{value}`: {e}");
+                None
+            }
+        }
+    })
+    .as_ref()
+}
+
+/// Probes the `AIX_FAULT` plan (panic/delay modes only) at a site with no
+/// error channel. A no-op when `AIX_FAULT` is unset.
+pub fn env_probe(stage: FaultStage, site: &str) {
+    if let Some(plan) = env_plan() {
+        plan.probe(stage, site, 0);
+    }
+}
+
+fn fnv_eat(hash: &mut u64, bytes: &[u8]) {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    for &byte in bytes {
+        *hash ^= u64::from(byte);
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_roundtrips_and_rejects_garbage() {
+        let plan: FaultPlan = "panic:p=0.05,seed=7".parse().unwrap();
+        assert_eq!(plan.specs().len(), 1);
+        assert_eq!(plan.specs()[0].mode, FaultMode::Panic);
+        assert!((plan.specs()[0].probability - 0.05).abs() < 1e-12);
+        assert_eq!(plan.specs()[0].seed, 7);
+
+        let multi: FaultPlan = "io:p=0.5,seed=3,stage=cache;delay:ms=50,stage=sta"
+            .parse()
+            .unwrap();
+        assert_eq!(multi.specs().len(), 2);
+        assert_eq!(multi.specs()[0].stage, Some(FaultStage::Cache));
+        assert_eq!(multi.specs()[1].mode, FaultMode::Delay);
+        assert_eq!(multi.specs()[1].delay_ms, 50);
+
+        // Display re-renders a parseable form.
+        let again: FaultPlan = multi.to_string().parse().unwrap();
+        assert_eq!(again, multi);
+
+        for bad in [
+            "",
+            "explode",
+            "panic:p=1.5",
+            "panic:p=nope",
+            "io:stage=everywhere",
+            "delay:ms=soon",
+            "panic:frequency=1",
+            "panic:p",
+        ] {
+            assert!(bad.parse::<FaultPlan>().is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_probability_scaled() {
+        let spec = FaultSpec {
+            mode: FaultMode::Panic,
+            probability: 0.3,
+            seed: 11,
+            stage: None,
+            delay_ms: 0,
+        };
+        let mut fired = 0usize;
+        for site in 0..1000 {
+            let name = format!("synth adder-w16-p{site}");
+            let a = spec.fires(FaultStage::Synth, &name, 1);
+            let b = spec.fires(FaultStage::Synth, &name, 1);
+            assert_eq!(a, b, "same inputs, same decision");
+            fired += usize::from(a);
+        }
+        // 30 % nominal over 1000 deterministic sites; allow a generous band.
+        assert!((200..=400).contains(&fired), "fired {fired}/1000");
+
+        // Different seeds make different decisions somewhere.
+        let other = FaultSpec { seed: 12, ..spec };
+        assert!((0..1000).any(|site| {
+            let name = format!("synth adder-w16-p{site}");
+            spec.fires(FaultStage::Synth, &name, 1) != other.fires(FaultStage::Synth, &name, 1)
+        }));
+
+        // Attempts decorrelate: a site that fires on attempt 1 does not
+        // fire on every retry.
+        let firing: Vec<String> = (0..1000)
+            .map(|site| format!("synth adder-w16-p{site}"))
+            .filter(|name| spec.fires(FaultStage::Synth, name, 1))
+            .collect();
+        assert!(firing
+            .iter()
+            .any(|name| !spec.fires(FaultStage::Synth, name, 2)));
+    }
+
+    #[test]
+    fn stage_filter_and_edge_probabilities() {
+        let spec = FaultSpec {
+            mode: FaultMode::Io,
+            probability: 1.0,
+            seed: 0,
+            stage: Some(FaultStage::Cache),
+            delay_ms: 0,
+        };
+        assert!(spec.fires(FaultStage::Cache, "x", 1));
+        assert!(!spec.fires(FaultStage::Synth, "x", 1));
+        let never = FaultSpec {
+            probability: 0.0,
+            stage: None,
+            ..spec
+        };
+        assert!(!never.fires(FaultStage::Cache, "x", 1));
+    }
+
+    #[test]
+    fn check_surfaces_io_and_probe_ignores_it() {
+        let plan: FaultPlan = "io:p=1".parse().unwrap();
+        let err = plan.check(FaultStage::Synth, "site", 1).unwrap_err();
+        assert!(err.to_string().contains("injected fault"));
+        plan.probe(FaultStage::Synth, "site", 1); // must not panic or error
+    }
+
+    #[test]
+    fn check_panics_on_panic_spec() {
+        let plan: FaultPlan = "panic:p=1,stage=sta".parse().unwrap();
+        assert!(plan.check(FaultStage::Synth, "site", 1).is_ok());
+        let caught = std::panic::catch_unwind(|| {
+            let _ = plan.check(FaultStage::Sta, "site", 1);
+        });
+        assert!(caught.is_err());
+    }
+}

@@ -4,6 +4,7 @@
 use crate::{optimize, size_for_performance};
 use aix_arith::{build_adder, build_mac, build_multiplier, AdderKind, ComponentSpec, MultiplierKind};
 use aix_cells::Library;
+use aix_faults::{env_probe, FaultStage};
 use aix_netlist::{Netlist, NetlistError};
 use aix_sta::NetDelays;
 use std::fmt;
@@ -159,6 +160,10 @@ impl Synthesizer {
     ///
     /// Propagates construction errors; well-formed specs never fail.
     pub fn adder(&self, spec: ComponentSpec) -> Result<Netlist, NetlistError> {
+        env_probe(
+            FaultStage::Synth,
+            &format!("adder w{} p{}", spec.width(), spec.precision()),
+        );
         self.finish(build_adder(&self.library, self.effort.adder_kind(), spec)?)
     }
 
@@ -182,6 +187,10 @@ impl Synthesizer {
     ///
     /// Propagates construction errors.
     pub fn multiplier(&self, spec: ComponentSpec) -> Result<Netlist, NetlistError> {
+        env_probe(
+            FaultStage::Synth,
+            &format!("multiplier w{} p{}", spec.width(), spec.precision()),
+        );
         self.finish(build_multiplier(
             &self.library,
             self.effort.multiplier_kind(),
@@ -208,6 +217,10 @@ impl Synthesizer {
     ///
     /// Propagates construction errors.
     pub fn mac(&self, spec: ComponentSpec) -> Result<Netlist, NetlistError> {
+        env_probe(
+            FaultStage::Synth,
+            &format!("mac w{} p{}", spec.width(), spec.precision()),
+        );
         self.finish(build_mac(&self.library, spec)?)
     }
 }

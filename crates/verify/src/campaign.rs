@@ -426,9 +426,14 @@ pub fn verify_deployment_cached(
 /// each aged scenario present in an entry set is checked at the precision
 /// the flow would deploy under it.
 ///
+/// Each entry is panic-isolated: a verification job that panics (a bug, or
+/// an injected fault) surfaces as [`AixError::JobFailed`] naming that
+/// entry, instead of aborting the whole campaign process.
+///
 /// # Errors
 ///
-/// Propagates synthesis and STA failures.
+/// Propagates synthesis and STA failures; a panicking entry surfaces as
+/// [`AixError::JobFailed`].
 pub fn verify_library(
     cells: &Arc<Library>,
     library: &ApproxLibrary,
@@ -442,14 +447,26 @@ pub fn verify_library(
     let mut entries = Vec::new();
     for characterization in library.iter() {
         for scenario in aged_scenarios(characterization) {
-            entries.push(verify_deployment_cached(
-                cells,
-                model,
-                characterization,
-                scenario,
-                config,
-                &netlists,
-            )?);
+            let verdict = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                verify_deployment_cached(
+                    cells,
+                    model,
+                    characterization,
+                    scenario,
+                    config,
+                    &netlists,
+                )
+            }))
+            .map_err(|payload| AixError::JobFailed {
+                job: format!(
+                    "{} w{} @{scenario}",
+                    characterization.kind(),
+                    characterization.width()
+                ),
+                attempts: 1,
+                reason: format!("panicked: {}", aix_core::panic_message(payload)),
+            })??;
+            entries.push(verdict);
         }
     }
     Ok(CampaignReport {

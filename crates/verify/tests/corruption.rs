@@ -188,6 +188,41 @@ fn degrade_repairs_corrupted_library_and_eq2_holds_measurably() {
 }
 
 #[test]
+fn degrade_exhaustion_surfaces_unrepairable_naming_the_block() {
+    let cells = cells();
+    let (corrupted, _, lying_k) = corrupted_library(&cells);
+    let design = single_adder_design(&cells);
+    // No retry budget at all: the first failed re-verification must give
+    // up instead of silently stopping mid-repair.
+    let mut config = VerifyConfig::nominal();
+    config.max_degrade_steps = 0;
+    let err = apply_aging_approximations_verified(
+        &cells,
+        &design,
+        &corrupted,
+        &AgingModel::calibrated(),
+        SCENARIO(),
+        VerifyPolicy::Degrade,
+        &config,
+    )
+    .expect_err("an exhausted degrade budget must abort");
+    // The rendered error — what the CLI shows — must name the block.
+    assert!(err.to_string().contains("adder"), "{err}");
+    match err {
+        VerifyError::Unrepairable {
+            block,
+            precision,
+            steps,
+        } => {
+            assert_eq!(block, "adder", "the violation names the block");
+            assert_eq!(precision, lying_k, "and the precision that failed");
+            assert_eq!(steps, 0, "no steps were available to spend");
+        }
+        other => panic!("expected Unrepairable, got {other}"),
+    }
+}
+
+#[test]
 fn warn_only_keeps_the_lying_precision_but_reports_it() {
     let cells = cells();
     let (corrupted, _, lying_k) = corrupted_library(&cells);

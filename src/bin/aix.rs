@@ -19,9 +19,11 @@ use aix::arith::ComponentSpec;
 use aix::cells::{degradation_to_text, to_liberty, DegradationAwareLibrary, Library};
 use aix::core::{
     append_bench_record, default_bench_json_path, idct_design, AixError, ApproxLibrary,
-    CharacterizationConfig, CharacterizationEngine, ComponentKind, EngineOptions,
+    CampaignStatus, CharacterizationConfig, CharacterizationEngine, ComponentKind, EngineOptions,
+    FAULT_GRAMMAR,
 };
 use aix::dct::DatapathPrecision;
+use aix::faults::FaultPlan;
 use aix::netlist::{to_dot, to_verilog};
 use aix::sim::{measure_errors, OperandSource, SignedNormalOperands};
 use aix::sta::{analyze, to_sdf, NetDelays};
@@ -35,6 +37,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::str::FromStr;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -74,12 +77,21 @@ usage: aix <command> [--key value ...]
 commands:
   characterize  --kind adder|multiplier|mac --width N [--effort area|medium|ultra]
                 [--out FILE] [--jobs N] [--cache DIR] [--no-cache]
+                [--journal DIR] [--no-journal] [--resume]
+                [--job-timeout SECS] [--retries N] [--backoff-ms N]
+                [--fault SPEC]
                                   characterize a component and print/store the
                                   aging-induced approximation library row;
                                   runs on N workers (0 = auto, also AIX_JOBS)
                                   over the persistent cache (default out/cache,
                                   also AIX_CACHE; per-stage timings appended to
-                                  out/BENCH_characterize.json)
+                                  out/BENCH_characterize.json). Failed jobs are
+                                  quarantined, reported, and recorded in the
+                                  write-ahead journal (default out/journal, also
+                                  AIX_JOURNAL) so --resume retries only them.
+                                  Exit code: 0 complete, 2 partial, 1 empty.
+                                  --fault injects deterministic faults (panic,
+                                  io, delay; also AIX_FAULT) for harness tests
   flow          [--years N] [--stress worst|balanced] [--library FILE]
                 [--verify off|warn|degrade|failfast] [--samples N] [--seed N]
                 [--jobs N] [--cache DIR] [--no-cache]
@@ -252,10 +264,30 @@ fn parse_verify_config(options: &HashMap<String, String>) -> Result<VerifyConfig
     })
 }
 
-/// Engine scheduling options: `--jobs N` (0 = auto), `--cache DIR` and
-/// `--no-cache` override the `AIX_JOBS` / `AIX_CACHE` environment.
+/// Parses a wall-clock budget in seconds; `0`, `off` or `none` disable it.
+fn parse_timeout(flag: &'static str, value: &str) -> Result<Option<Duration>, AixError> {
+    if matches!(value, "0" | "off" | "none") {
+        return Ok(None);
+    }
+    match value.parse::<f64>() {
+        Ok(secs) if secs.is_finite() && secs > 0.0 => Ok(Some(Duration::from_secs_f64(secs))),
+        _ => Err(AixError::InvalidOption {
+            flag,
+            value: value.to_owned(),
+            expected: "a positive number of seconds (0/off/none disables)",
+        }),
+    }
+}
+
+/// Engine scheduling and robustness options. Flags override the matching
+/// environment variables: `--jobs N` (0 = auto; `AIX_JOBS`),
+/// `--cache DIR`/`--no-cache` (`AIX_CACHE`), `--journal DIR`/
+/// `--no-journal` (`AIX_JOURNAL`), `--resume`, `--job-timeout SECS`
+/// (`AIX_JOB_TIMEOUT`), `--retries N` (`AIX_RETRIES`), `--backoff-ms N`
+/// (`AIX_BACKOFF_MS`) and `--fault SPEC` (`AIX_FAULT`). A malformed
+/// environment value is rejected with the same diagnostic as its flag.
 fn parse_engine_options(options: &HashMap<String, String>) -> Result<EngineOptions, AixError> {
-    let mut engine = EngineOptions::from_env();
+    let mut engine = EngineOptions::from_env_strict()?;
     if let Some(value) = get(options, "--jobs") {
         engine.jobs = value.parse().map_err(|_| AixError::InvalidOption {
             flag: "--jobs",
@@ -267,6 +299,32 @@ fn parse_engine_options(options: &HashMap<String, String>) -> Result<EngineOptio
         engine.cache_dir = None;
     } else if let Some(dir) = get(options, "--cache") {
         engine.cache_dir = Some(PathBuf::from(dir));
+    }
+    if get(options, "--no-journal").is_some() {
+        engine.journal_dir = None;
+    } else if let Some(dir) = get(options, "--journal") {
+        engine.journal_dir = Some(PathBuf::from(dir));
+    }
+    if get(options, "--resume").is_some() {
+        engine.resume = true;
+    }
+    if let Some(value) = get(options, "--job-timeout") {
+        engine.job_timeout = parse_timeout("--job-timeout", value)?;
+    }
+    engine.retries = parse_or(options, "--retries", engine.retries, "a retry count")?;
+    engine.backoff_ms = parse_or(
+        options,
+        "--backoff-ms",
+        engine.backoff_ms,
+        "a backoff in milliseconds",
+    )?;
+    if let Some(value) = get(options, "--fault") {
+        let plan: FaultPlan = value.parse().map_err(|_| AixError::InvalidOption {
+            flag: "--fault",
+            value: value.to_owned(),
+            expected: FAULT_GRAMMAR,
+        })?;
+        engine.faults = Some(Arc::new(plan));
     }
     Ok(engine)
 }
@@ -297,10 +355,12 @@ fn characterize(options: &HashMap<String, String>) -> CliResult {
     let mut config = CharacterizationConfig::paper_default(kind, width);
     config.effort = parse_effort(options)?;
     let engine = CharacterizationEngine::new(Arc::clone(&cells), parse_engine_options(options)?);
-    let (characterization, report) = engine.characterize(&config)?;
-    record_engine_run(&format!("characterize {kind} {width}"), &report)?;
-    let mut library = ApproxLibrary::new();
-    library.insert(characterization);
+    let campaign = engine.characterize_campaign(std::slice::from_ref(&config));
+    record_engine_run(&format!("characterize {kind} {width}"), &campaign.report)?;
+    for failure in &campaign.failures {
+        eprintln!("aix: job FAILED: {failure}");
+    }
+    let library = campaign.library();
     let text = library.to_text();
     if let Some(path) = get(options, "--out") {
         std::fs::write(path, &text).map_err(|e| AixError::io(path, e))?;
@@ -308,20 +368,42 @@ fn characterize(options: &HashMap<String, String>) -> CliResult {
     } else {
         print!("{text}");
     }
-    let characterization = library.get(kind, width).expect("just inserted");
-    for scenario in [
-        AgingScenario::worst_case(Lifetime::YEARS_1),
-        AgingScenario::worst_case(Lifetime::YEARS_10),
-    ] {
-        match characterization.required_precision(scenario) {
-            Some(p) => println!(
-                "# Eq. 2 under {scenario}: precision {p}b ({} bits truncated)",
-                width - p
-            ),
-            None => println!("# Eq. 2 under {scenario}: not compensable"),
+    // The Eq. 2 summary needs the fresh full-precision anchor, which a
+    // partial campaign may lack — it is only meaningful when complete.
+    if campaign.status() == CampaignStatus::Complete {
+        let characterization = library.get(kind, width).expect("complete campaign");
+        for scenario in [
+            AgingScenario::worst_case(Lifetime::YEARS_1),
+            AgingScenario::worst_case(Lifetime::YEARS_10),
+        ] {
+            match characterization.required_precision(scenario) {
+                Some(p) => println!(
+                    "# Eq. 2 under {scenario}: precision {p}b ({} bits truncated)",
+                    width - p
+                ),
+                None => println!("# Eq. 2 under {scenario}: not compensable"),
+            }
         }
     }
-    Ok(ExitCode::SUCCESS)
+    match campaign.status() {
+        CampaignStatus::Complete => Ok(ExitCode::SUCCESS),
+        CampaignStatus::Partial => {
+            eprintln!(
+                "aix: campaign PARTIAL: {} of {} job(s) failed; \
+                 rerun with --resume to retry only the failures",
+                campaign.failures.len(),
+                campaign.report.synth_planned
+            );
+            Ok(ExitCode::from(2))
+        }
+        CampaignStatus::Empty => {
+            eprintln!(
+                "aix: campaign EMPTY: all {} job(s) failed",
+                campaign.failures.len()
+            );
+            Ok(ExitCode::FAILURE)
+        }
+    }
 }
 
 fn flow(options: &HashMap<String, String>) -> CliResult {

@@ -15,6 +15,8 @@
 //!   [`sim`], [`power`] — the EDA substrate everything is built on.
 //! * [`verify`] — adversarial re-validation: Monte-Carlo guarantee
 //!   verification, fault injection and graceful precision degradation.
+//! * [`faults`] — the deterministic fault-injection harness (`AIX_FAULT`)
+//!   used to exercise campaign fault tolerance end to end.
 //! * [`dct`], [`image`] — the error-tolerant multimedia case study.
 //!
 //! # Examples
@@ -38,6 +40,7 @@ pub use aix_arith as arith;
 pub use aix_cells as cells;
 pub use aix_core as core;
 pub use aix_dct as dct;
+pub use aix_faults as faults;
 pub use aix_image as image;
 pub use aix_netlist as netlist;
 pub use aix_power as power;

@@ -202,6 +202,114 @@ fn bad_option_values_name_the_flag() {
 }
 
 #[test]
+fn garbage_env_jobs_is_rejected_like_the_flag() {
+    let base = [
+        "characterize",
+        "--kind",
+        "adder",
+        "--width",
+        "4",
+        "--no-cache",
+        "--no-journal",
+    ];
+    let output = aix()
+        .args(base)
+        .env("AIX_JOBS", "three")
+        .output()
+        .expect("spawn aix");
+    assert!(!output.status.success());
+    let env_stderr = String::from_utf8_lossy(&output.stderr).into_owned();
+    assert!(
+        env_stderr.contains("AIX_JOBS") && env_stderr.contains("three"),
+        "a garbage environment value must be diagnosed, not ignored: {env_stderr}"
+    );
+
+    // The same value through the flag earns the same treatment.
+    let output = aix()
+        .args(base)
+        .args(["--jobs", "three"])
+        .output()
+        .expect("spawn aix");
+    assert!(!output.status.success());
+    let flag_stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(flag_stderr.contains("--jobs") && flag_stderr.contains("three"));
+}
+
+#[test]
+fn injected_faults_quarantine_jobs_and_resume_is_byte_identical() {
+    use aix::faults::{FaultMode, FaultSpec, FaultStage};
+    let dir = std::env::temp_dir().join(format!("aix-cli-fault-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let journal = dir.join("journal");
+
+    // A seed whose panic spec fires on some but not all of the four
+    // synthesis sites of `characterize --kind adder --width 4`.
+    let seed = (0..10_000u64)
+        .find(|&seed| {
+            let spec = FaultSpec {
+                mode: FaultMode::Panic,
+                probability: 0.5,
+                seed,
+                stage: Some(FaultStage::Synth),
+                delay_ms: 0,
+            };
+            let doomed = (1..=4)
+                .filter(|p| spec.fires(FaultStage::Synth, &format!("adder-w4-p{p}-ultra"), 1))
+                .count();
+            doomed > 0 && doomed < 4
+        })
+        .expect("a partial seed exists");
+
+    let characterize = |extra: &[String], out: &std::path::Path| {
+        let mut cmd = aix();
+        cmd.args(["characterize", "--kind", "adder", "--width", "4", "--no-cache"]);
+        cmd.args(extra);
+        cmd.arg("--out").arg(out);
+        cmd.output().expect("spawn aix")
+    };
+    let journal_flag = || format!("--journal={}", journal.display());
+
+    let reference = dir.join("ref.txt");
+    let output = characterize(&["--no-journal".into()], &reference);
+    assert!(output.status.success(), "fault-free run completes");
+
+    // Faulted run: the partial exit code, a failure report naming the
+    // jobs, and a journal recording them.
+    let partial = dir.join("part.txt");
+    let output = characterize(
+        &[
+            journal_flag(),
+            format!("--fault=panic:p=0.5,seed={seed},stage=synth"),
+        ],
+        &partial,
+    );
+    assert_eq!(output.status.code(), Some(2), "partial campaigns exit 2");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("job FAILED") && stderr.contains("adder w4"),
+        "failures are reported by job: {stderr}"
+    );
+    assert!(stderr.contains("--resume"), "the report suggests resuming");
+
+    // Resume without faults: completes and matches the reference bytes.
+    let resumed = dir.join("resumed.txt");
+    let output = characterize(&[journal_flag(), "--resume".into()], &resumed);
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let reference_text = std::fs::read_to_string(&reference).expect("reference");
+    let resumed_text = std::fs::read_to_string(&resumed).expect("resumed");
+    assert_eq!(
+        resumed_text, reference_text,
+        "resumed output is byte-identical to the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn missing_library_file_error_names_the_path() {
     let output = aix()
         .args(["verify", "--library", "/nonexistent/lib.txt"])
