@@ -75,7 +75,7 @@ pub fn build_or_load_library(
         config.effort = effort;
     }
     let (library, report) = engine.characterize_all(&configs)?;
-    eprintln!("(characterization engine: {})", report.summary());
+    aix_obs::progress!("(characterization engine: {})", report.summary());
     let _ = append_bench_record(&default_bench_json_path(), "bench library", &report);
     if let Some(path) = cache_path {
         if let Some(parent) = path.parent() {

@@ -36,7 +36,13 @@
 //! * **Observability** — [`EngineReport`] carries per-stage wall-clock and
 //!   cache/journal/retry counters; [`append_bench_record`] persists them as
 //!   machine-readable `BENCH_characterize.json` so the perf trajectory of
-//!   repeated runs is measurable.
+//!   repeated runs is measurable. When a global `aix-obs` recorder is
+//!   installed the campaign additionally emits a structured trace:
+//!   `campaign`/`plan`/`synth_stage`/`sta_stage`/`merge` spans, per-job
+//!   `synth`/`sta` spans, `cache_hit`/`cache_miss`/`journal_hit` counter
+//!   events (in plan order, from sequential code — so warm-run traces are
+//!   byte-identical for any worker count) and one `quarantine` event per
+//!   [`JobFailure`], in merge order.
 //!
 //! The engine is deterministic: characterization output is byte-identical
 //! for any job count, for cold versus warm caches, and for interrupted
@@ -667,6 +673,18 @@ pub fn append_bench_record(
     label: &str,
     report: &EngineReport,
 ) -> std::io::Result<()> {
+    append_bench_json(path, report.to_json_record(label))
+}
+
+/// Appends one pre-rendered single-line JSON record (which must start with
+/// `{"label"` to survive future rewrites) to the benchmark log at `path`.
+/// This is the record-agnostic half of [`append_bench_record`], shared with
+/// trace summaries and other non-engine records.
+///
+/// # Errors
+///
+/// Returns I/O errors from reading or writing the log.
+pub fn append_bench_json(path: &Path, record: String) -> std::io::Result<()> {
     // Existing records are one per line; carry them over verbatim.
     let mut records: Vec<String> = match std::fs::read_to_string(path) {
         Ok(text) => text
@@ -677,7 +695,7 @@ pub fn append_bench_record(
             .collect(),
         Err(_) => Vec::new(),
     };
-    records.push(report.to_json_record(label));
+    records.push(record);
     let mut out = String::from("{\n  \"schema\": \"aix-bench-characterize/v1\",\n  \"runs\": [\n");
     for (index, record) in records.iter().enumerate() {
         let comma = if index + 1 < records.len() { "," } else { "" };
@@ -836,10 +854,16 @@ impl CharacterizationEngine {
             jobs,
             ..EngineReport::default()
         };
+        // The resolved worker count is deliberately absent from every trace
+        // event: all events outside the worker pools are emitted from
+        // sequential code, so a warm (all-hit) run's trace is byte-identical
+        // for any `--jobs` value.
+        let campaign_span = aix_obs::span!("campaign", configs = configs.len());
 
         // Plan: one synthesis job per (config, precision), probing the
         // on-disk cache. A hit must cover every requested scenario.
         let plan_start = Instant::now();
+        let plan_span = aix_obs::span!("plan");
         let config_tokens: Vec<Vec<String>> = configs
             .iter()
             .map(|config| {
@@ -900,8 +924,10 @@ impl CharacterizationEngine {
                 if cache_path.is_some() {
                     if hit {
                         report.cache_hits += 1;
+                        aix_obs::count!("cache_hit", job = &site);
                     } else {
                         report.cache_misses += 1;
+                        aix_obs::count!("cache_miss", job = &site);
                     }
                 }
                 plan.push(SynthJob {
@@ -938,11 +964,14 @@ impl CharacterizationEngine {
                     job.hit = true;
                     job.journal_hit = true;
                     report.journal_hits += 1;
+                    aix_obs::count!("journal_hit", job = &job.site);
                 }
             }
             journal.record_plan(plan.len());
         }
         report.plan_ms = elapsed_ms(plan_start);
+        plan_span.close();
+        aix_obs::gauge!("synth_planned", report.synth_planned as f64);
 
         // Synthesis stage: pool over the misses, each job under the guard.
         // Results keep plan order, so failures are deterministic under any
@@ -955,12 +984,20 @@ impl CharacterizationEngine {
             .map(|(index, _)| index)
             .collect();
         report.synth_executed = to_synthesize.len();
+        let synth_span = aix_obs::span!("synth_stage", executed = report.synth_executed);
         let guard = self.guard();
         let synthesized_list = parallel_map(jobs, to_synthesize, |index| {
             let job = &plan[index];
             let config = &configs[job.config_index];
             let (kind, width, precision, effort) =
                 (config.kind, config.width, job.precision, config.effort);
+            let _job_span = aix_obs::span!(
+                "synth",
+                job = &job.site,
+                kind = config.kind.label(),
+                width = width,
+                precision = precision,
+            );
             let outcome = guard.run(FaultStage::Synth, &job.site, || {
                 let cells = Arc::clone(&self.cells);
                 let netlists = Arc::clone(&self.netlists);
@@ -983,6 +1020,7 @@ impl CharacterizationEngine {
             }
         }
         report.synth_ms = elapsed_ms(synth_start);
+        synth_span.close();
 
         // STA stage: one guarded job per (synthesized precision, scenario).
         // Jobs whose synthesis was quarantined are skipped outright.
@@ -996,11 +1034,19 @@ impl CharacterizationEngine {
             })
             .collect();
         report.sta_executed = sta_plan.len();
+        let sta_span = aix_obs::span!("sta_stage", executed = report.sta_executed);
         let delays_list = parallel_map(jobs, sta_plan, |(index, scenario_index)| {
             let job = &plan[index];
             let config = &configs[job.config_index];
             let scenario = config.scenarios[scenario_index];
             let site = format!("{}@{}", job.site, config_tokens[job.config_index][scenario_index]);
+            let _job_span = aix_obs::span!(
+                "sta",
+                job = &site,
+                kind = config.kind.label(),
+                width = config.width,
+                precision = job.precision,
+            );
             let outcome = guard.run(FaultStage::Sta, &site, || {
                 let netlist = Arc::clone(&netlists[&index]);
                 let model = Arc::clone(&model);
@@ -1050,11 +1096,13 @@ impl CharacterizationEngine {
             }
         }
         report.sta_ms = elapsed_ms(sta_start);
+        sta_span.close();
 
         // Merge in planned order — deterministic for any job count — and
         // write misses back to the cache and journal (best effort; a
         // read-only directory degrades to cold runs, never to an error).
         let merge_start = Instant::now();
+        let merge_span = aix_obs::span!("merge");
         let mut out: Vec<ComponentCharacterization> = configs
             .iter()
             .map(|c| ComponentCharacterization::new(c.kind, c.width, c.effort))
@@ -1071,6 +1119,15 @@ impl CharacterizationEngine {
                         &info.reason,
                     );
                 }
+                // Quarantine events mirror `JobFailure` records one-to-one,
+                // in the same (planned) order, so the trace and the
+                // campaign report can be cross-checked.
+                aix_obs::quarantine!(
+                    "job",
+                    job = &job.site,
+                    stage = info.stage,
+                    attempts = info.attempts,
+                );
                 failures.push(JobFailure {
                     kind: config.kind,
                     width: config.width,
@@ -1133,7 +1190,9 @@ impl CharacterizationEngine {
         }
         report.job_failures = failures.len();
         report.merge_ms = elapsed_ms(merge_start);
+        merge_span.close();
         report.wall_ms = elapsed_ms(wall);
+        campaign_span.close();
         Campaign {
             characterizations: out,
             report,

@@ -130,6 +130,7 @@ impl JobGuard {
                     // other error is structural and retrying cannot help.
                     let transient = matches!(error, AixError::Io { .. });
                     if transient && attempt <= self.retries {
+                        aix_obs::count!("job_retry", site = site, attempt = attempt, cause = "io");
                         self.backoff(site, attempt);
                         continue;
                     }
@@ -142,9 +143,16 @@ impl JobGuard {
                 }
                 Attempt::TimedOut => {
                     if attempt <= self.retries {
+                        aix_obs::count!(
+                            "job_retry",
+                            site = site,
+                            attempt = attempt,
+                            cause = "timeout"
+                        );
                         self.backoff(site, attempt);
                         continue;
                     }
+                    aix_obs::count!("job_timeout", site = site, attempts = attempt);
                     return Err(JobError {
                         reason: format!(
                             "timed out after {:.3} s",

@@ -91,6 +91,11 @@ fn design_metrics(
     clock_ps: f64,
     activity_vectors: usize,
 ) -> Result<DesignMetrics, FlowError> {
+    let _span = aix_obs::span!(
+        "design_metrics",
+        blocks = blocks.len(),
+        vectors = activity_vectors,
+    );
     let config = PowerConfig::at_period_ps(clock_ps);
     let mut area = 0.0;
     let mut leakage = 0.0;
@@ -133,6 +138,7 @@ pub fn compare_against_aging_aware(
     scenario: AgingScenario,
     activity_vectors: usize,
 ) -> Result<SavingsReport, FlowError> {
+    let _span = aix_obs::span!("savings_compare", blocks = plan.blocks.len());
     // Ours: planned precisions at the fresh constraint.
     let mut ours_blocks = Vec::new();
     for block in &plan.blocks {

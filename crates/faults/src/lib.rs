@@ -339,7 +339,7 @@ pub fn env_plan() -> Option<&'static FaultPlan> {
         match value.parse::<FaultPlan>() {
             Ok(plan) => Some(plan),
             Err(e) => {
-                eprintln!("warning: ignoring malformed AIX_FAULT `{value}`: {e}");
+                aix_obs::warn!("ignoring malformed AIX_FAULT `{value}`: {e}");
                 None
             }
         }

@@ -1,0 +1,164 @@
+//! In-memory aggregates: counters, gauges and latency histograms.
+//!
+//! Aggregates are deliberately **never** serialized into the trace file —
+//! they summarise wall-clock behaviour, which varies run to run, while the
+//! trace is a deterministic conformance surface. Tests and the CLI read
+//! them through [`MetricsSnapshot`].
+
+/// Number of histogram buckets: power-of-two microsecond bounds
+/// `1µs, 2µs, 4µs, … ~1s`, plus a final overflow bucket.
+pub const HISTOGRAM_BUCKETS: usize = 22;
+
+/// A fixed-bucket latency histogram over microsecond observations.
+///
+/// Bucket `i` (for `i < HISTOGRAM_BUCKETS - 1`) counts observations with
+/// `value <= 2^i` µs that did not fit an earlier bucket; the last bucket
+/// absorbs everything larger. The bucket counts always sum to
+/// [`Histogram::count`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation of `us` microseconds.
+    pub fn observe_us(&mut self, us: u64) {
+        self.counts[Self::bucket_index(us)] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    fn bucket_index(us: u64) -> usize {
+        (0..HISTOGRAM_BUCKETS - 1)
+            .find(|&i| us <= 1u64 << i)
+            .unwrap_or(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Upper bound (inclusive, in µs) of bucket `i`; the last bucket is
+    /// unbounded and reports `u64::MAX`.
+    pub fn bucket_bound(i: usize) -> u64 {
+        assert!(i < HISTOGRAM_BUCKETS, "bucket index out of range");
+        if i == HISTOGRAM_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// `(upper_bound_us, count)` per bucket, in bound order.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (Self::bucket_bound(i), n))
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations in µs (saturating).
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// Largest observation in µs (0 when empty).
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Mean observation in µs (0.0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of the recorder's aggregates, with deterministic
+/// (name-sorted) ordering.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter totals by name.
+    pub counters: Vec<(String, u64)>,
+    /// Last-set gauge values by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Latency histograms by span name.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsSnapshot {
+    /// The total for counter `name`, defaulting to 0.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find_map(|(n, v)| (n == name).then_some(*v))
+            .unwrap_or(0)
+    }
+
+    /// The histogram for span `name`, if any span of that name closed.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find_map(|(n, h)| (n == name).then_some(h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_microsecond_axis() {
+        let mut h = Histogram::new();
+        for us in [0, 1, 2, 3, 4, 1000, 1_000_000, u64::MAX] {
+            h.observe_us(us);
+        }
+        assert_eq!(h.count(), 8);
+        let bucket_sum: u64 = h.buckets().map(|(_, n)| n).sum();
+        assert_eq!(bucket_sum, h.count(), "bucket counts sum to count");
+        assert_eq!(h.max_us(), u64::MAX);
+        // 0 and 1 land in the first bucket (bound 1µs); 2 in the second.
+        let counts: Vec<u64> = h.buckets().map(|(_, n)| n).collect();
+        assert_eq!(counts[0], 2);
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts[2], 2, "3 and 4 both fit the 4µs bound");
+        assert_eq!(counts[HISTOGRAM_BUCKETS - 1], 1, "u64::MAX overflows");
+    }
+
+    #[test]
+    fn bounds_are_monotonic() {
+        for i in 1..HISTOGRAM_BUCKETS {
+            assert!(Histogram::bucket_bound(i) > Histogram::bucket_bound(i - 1));
+        }
+    }
+
+    #[test]
+    fn mean_handles_empty_and_nonempty() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean_us(), 0.0);
+        h.observe_us(10);
+        h.observe_us(20);
+        assert_eq!(h.mean_us(), 15.0);
+        assert_eq!(h.sum_us(), 30);
+    }
+
+    #[test]
+    fn snapshot_lookups_default_sensibly() {
+        let snap = MetricsSnapshot::default();
+        assert_eq!(snap.counter("missing"), 0);
+        assert!(snap.histogram("missing").is_none());
+    }
+}

@@ -43,6 +43,7 @@ impl Activity {
     where
         I: IntoIterator<Item = Vec<bool>>,
     {
+        let _span = aix_obs::span!("activity_collect", nets = netlist.net_count());
         let mut evaluator = Evaluator::new(netlist)?;
         let mut ones = vec![0u64; netlist.net_count()];
         let mut toggles = vec![0u64; netlist.net_count()];
@@ -127,6 +128,7 @@ pub fn collect_timed_activity<I>(
 where
     I: IntoIterator<Item = Vec<bool>>,
 {
+    let _span = aix_obs::span!("activity_timed", nets = netlist.net_count());
     let mut sim = crate::TimedSimulator::new(netlist, delays)?;
     // A zero-delay evaluator supplies the settled per-net values for the
     // ones statistics; the timed simulator supplies true transition counts.

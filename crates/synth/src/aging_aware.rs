@@ -40,6 +40,12 @@ pub fn aging_aware_synthesize(
     target_ps: f64,
     max_iterations: usize,
 ) -> Result<AgingAwareOutcome, NetlistError> {
+    let _span = aix_obs::span!(
+        "aging_aware",
+        gates = netlist.gate_count(),
+        target_ps = target_ps,
+        max_iterations = max_iterations,
+    );
     let aged_delays = |nl: &Netlist| NetDelays::aged(nl, model, scenario);
     let before = analyze(netlist, &aged_delays(netlist))?.max_delay_ps();
     let outcome = size_for_performance(netlist, aged_delays, max_iterations)?;

@@ -160,6 +160,12 @@ impl Synthesizer {
     ///
     /// Propagates construction errors; well-formed specs never fail.
     pub fn adder(&self, spec: ComponentSpec) -> Result<Netlist, NetlistError> {
+        let _span = aix_obs::span!(
+            "synthesize",
+            kind = "adder",
+            width = spec.width(),
+            precision = spec.precision(),
+        );
         env_probe(
             FaultStage::Synth,
             &format!("adder w{} p{}", spec.width(), spec.precision()),
@@ -187,6 +193,12 @@ impl Synthesizer {
     ///
     /// Propagates construction errors.
     pub fn multiplier(&self, spec: ComponentSpec) -> Result<Netlist, NetlistError> {
+        let _span = aix_obs::span!(
+            "synthesize",
+            kind = "multiplier",
+            width = spec.width(),
+            precision = spec.precision(),
+        );
         env_probe(
             FaultStage::Synth,
             &format!("multiplier w{} p{}", spec.width(), spec.precision()),
@@ -217,6 +229,12 @@ impl Synthesizer {
     ///
     /// Propagates construction errors.
     pub fn mac(&self, spec: ComponentSpec) -> Result<Netlist, NetlistError> {
+        let _span = aix_obs::span!(
+            "synthesize",
+            kind = "mac",
+            width = spec.width(),
+            precision = spec.precision(),
+        );
         env_probe(
             FaultStage::Synth,
             &format!("mac w{} p{}", spec.width(), spec.precision()),

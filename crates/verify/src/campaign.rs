@@ -444,9 +444,16 @@ pub fn verify_library(
     // precision) — notably each component's full-width constraint netlist —
     // is synthesized once, however many scenarios reference it.
     let netlists = NetlistCache::new();
+    let campaign_span = aix_obs::span!("verify_campaign", components = library.iter().count());
     let mut entries = Vec::new();
     for characterization in library.iter() {
         for scenario in aged_scenarios(characterization) {
+            let entry_site = format!(
+                "{}-w{}@{scenario}",
+                characterization.kind(),
+                characterization.width()
+            );
+            let entry_span = aix_obs::span!("verify_entry", entry = &entry_site);
             let verdict = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 verify_deployment_cached(
                     cells,
@@ -466,9 +473,15 @@ pub fn verify_library(
                 attempts: 1,
                 reason: format!("panicked: {}", aix_core::panic_message(payload)),
             })??;
+            entry_span.close();
+            aix_obs::count!(
+                if verdict.passed { "verify_pass" } else { "verify_fail" },
+                entry = &entry_site,
+            );
             entries.push(verdict);
         }
     }
+    campaign_span.close();
     Ok(CampaignReport {
         seed: config.seed,
         samples: config.samples.max(1),

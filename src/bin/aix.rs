@@ -18,9 +18,9 @@ use aix::aging::{AgingModel, AgingScenario, Lifetime};
 use aix::arith::ComponentSpec;
 use aix::cells::{degradation_to_text, to_liberty, DegradationAwareLibrary, Library};
 use aix::core::{
-    append_bench_record, default_bench_json_path, idct_design, AixError, ApproxLibrary,
-    CampaignStatus, CharacterizationConfig, CharacterizationEngine, ComponentKind, EngineOptions,
-    FAULT_GRAMMAR,
+    append_bench_json, append_bench_record, default_bench_json_path, idct_design, AixError,
+    ApproxLibrary, CampaignStatus, CharacterizationConfig, CharacterizationEngine, ComponentKind,
+    EngineOptions, FAULT_GRAMMAR,
 };
 use aix::dct::DatapathPrecision;
 use aix::faults::FaultPlan;
@@ -45,23 +45,36 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    // `trace` takes a positional action (`summarize`) before its flags.
+    let action = if command == "trace" { args.next() } else { None };
     let options = parse_options(args);
-    let result = match command.as_str() {
-        "characterize" => characterize(&options),
-        "flow" => flow(&options),
-        "verify" => verify(&options),
-        "error-rate" => error_rate(&options),
-        "quality" => quality(&options),
-        "export" => export(&options),
-        "help" | "--help" | "-h" => {
-            println!("{USAGE}");
-            Ok(ExitCode::SUCCESS)
+    let result = configure_observability(&command, &options).and_then(|_| {
+        let result = match command.as_str() {
+            "characterize" => characterize(&options),
+            "flow" => flow(&options),
+            "verify" => verify(&options),
+            "error-rate" => error_rate(&options),
+            "quality" => quality(&options),
+            "export" => export(&options),
+            "trace" => trace(action.as_deref(), &options),
+            "help" | "--help" | "-h" => {
+                println!("{USAGE}");
+                Ok(ExitCode::SUCCESS)
+            }
+            other => {
+                eprintln!("aix: unknown command `{other}`\n{USAGE}");
+                return Ok(ExitCode::FAILURE);
+            }
+        };
+        // Dropping the recorder closes the trace file; announce it last so
+        // the path is the final stderr line of a traced run.
+        if let Some(recorder) = aix::obs::uninstall() {
+            if let Some(path) = recorder.path() {
+                aix::obs::progress!("trace written to {}", path.display());
+            }
         }
-        other => {
-            eprintln!("aix: unknown command `{other}`\n{USAGE}");
-            return ExitCode::FAILURE;
-        }
-    };
+        result
+    });
     match result {
         Ok(code) => code,
         Err(error) => {
@@ -69,6 +82,55 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Installs the quiet flag and the global trace recorder from `--quiet`/
+/// `--trace[=FILE]` and their environment equivalents (`AIX_QUIET`,
+/// `AIX_TRACE`, `AIX_TRACE_TIMINGS`) before the command runs.
+fn configure_observability(
+    command: &str,
+    options: &HashMap<String, String>,
+) -> Result<(), AixError> {
+    if get(options, "--quiet").is_some() {
+        aix::obs::set_quiet(true);
+    }
+    // `trace summarize` reads traces, it must not record one of its own;
+    // `help` has nothing to trace.
+    if matches!(command, "trace" | "help" | "--help" | "-h") {
+        return Ok(());
+    }
+    let path = match get(options, "--trace") {
+        Some("true") => Some(default_trace_path()),
+        Some(path) => Some(PathBuf::from(path)),
+        None => match std::env::var(aix::obs::TRACE_ENV) {
+            Ok(value) => match value.trim() {
+                "" | "0" | "false" => None,
+                "1" | "true" => Some(default_trace_path()),
+                path => Some(PathBuf::from(path)),
+            },
+            Err(_) => None,
+        },
+    };
+    let Some(path) = path else {
+        return Ok(());
+    };
+    let recorder = aix::obs::Recorder::to_file(&path, command, aix::obs::timings_from_env())
+        .map_err(|e| AixError::io(path.display().to_string(), e))?;
+    aix::obs::install(recorder);
+    Ok(())
+}
+
+/// The default trace location: one file per run, named after the wall
+/// clock and process so concurrent runs never collide.
+fn default_trace_path() -> PathBuf {
+    let seconds = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|elapsed| elapsed.as_secs())
+        .unwrap_or(0);
+    PathBuf::from(format!(
+        "out/trace/run-{seconds}-{}.jsonl",
+        std::process::id()
+    ))
 }
 
 const USAGE: &str = "\
@@ -108,7 +170,22 @@ commands:
                                   PSNR/SSIM of the test sequences at a datapath precision
   export        [--out-dir DIR]   write Liberty, degradation tables, Verilog,
                                   DOT and SDF artifacts
-  help                            show this message";
+  trace         summarize [--file FILE] [--strict] [--no-record]
+                                  render the per-stage latency/counter table of
+                                  a recorded JSONL trace (newest under
+                                  out/trace/ unless --file names one) and
+                                  append a machine-readable summary record to
+                                  out/BENCH_characterize.json
+  help                            show this message
+
+global flags (any command):
+  --trace[=FILE]                  record a structured JSONL event trace
+                                  (default out/trace/run-<ts>-<pid>.jsonl;
+                                  also AIX_TRACE=1|PATH). Set
+                                  AIX_TRACE_TIMINGS=off to drop elapsed_us
+                                  fields for byte-reproducible traces
+  --quiet                         silence progress chatter on stderr (also
+                                  AIX_QUIET=1); errors still print";
 
 type CliResult = Result<ExitCode, AixError>;
 
@@ -332,10 +409,88 @@ fn parse_engine_options(options: &HashMap<String, String>) -> Result<EngineOptio
 /// Records an engine run in `out/BENCH_characterize.json` and echoes the
 /// per-stage summary.
 fn record_engine_run(label: &str, report: &aix::core::EngineReport) -> Result<(), AixError> {
-    eprintln!("# engine: {}", report.summary());
+    aix::obs::progress!("# engine: {}", report.summary());
     let path = default_bench_json_path();
     append_bench_record(&path, label, report)
         .map_err(|e| AixError::io(path.display().to_string(), e))
+}
+
+/// `aix trace <action>`: operations over recorded JSONL traces.
+fn trace(action: Option<&str>, options: &HashMap<String, String>) -> CliResult {
+    match action {
+        Some("summarize") => trace_summarize(options),
+        Some(other) => Err(AixError::InvalidOption {
+            flag: "trace",
+            value: other.to_owned(),
+            expected: "summarize",
+        }),
+        None => Err(AixError::MissingOption {
+            flag: "trace summarize",
+        }),
+    }
+}
+
+/// Renders the per-stage latency/counter table of a trace file (newest
+/// `out/trace/run-*.jsonl` unless `--file` names one) and appends the
+/// machine-readable summary record to `out/BENCH_characterize.json`.
+fn trace_summarize(options: &HashMap<String, String>) -> CliResult {
+    let strict = get(options, "--strict").is_some();
+    let path = match get(options, "--file") {
+        Some(path) => PathBuf::from(path),
+        None => latest_trace_path()?,
+    };
+    let summary = aix::obs::TraceSummary::read_file(&path, strict)
+        .map_err(|error| summary_error(&path, error))?;
+    print!("{}", summary.render_table());
+    if get(options, "--no-record").is_none() {
+        let bench = default_bench_json_path();
+        append_bench_json(&bench, summary.to_json_record())
+            .map_err(|e| AixError::io(bench.display().to_string(), e))?;
+        aix::obs::progress!("summary recorded in {}", bench.display());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// The most recently modified `.jsonl` file under `out/trace/`.
+fn latest_trace_path() -> Result<PathBuf, AixError> {
+    let dir = PathBuf::from("out/trace");
+    let no_trace = || {
+        AixError::io(
+            dir.display().to_string(),
+            std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                "no trace files found; run a command with --trace first or pass --file",
+            ),
+        )
+    };
+    let entries = std::fs::read_dir(&dir).map_err(|_| no_trace())?;
+    let mut newest: Option<(std::time::SystemTime, PathBuf)> = None;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().is_none_or(|ext| ext != "jsonl") {
+            continue;
+        }
+        let modified = entry
+            .metadata()
+            .and_then(|meta| meta.modified())
+            .unwrap_or(std::time::UNIX_EPOCH);
+        if newest.as_ref().is_none_or(|(time, _)| modified >= *time) {
+            newest = Some((modified, path));
+        }
+    }
+    newest.map(|(_, path)| path).ok_or_else(no_trace)
+}
+
+/// Maps a trace-summary failure onto the CLI error taxonomy, keeping the
+/// offending file in the message.
+fn summary_error(path: &std::path::Path, error: aix::obs::SummaryError) -> AixError {
+    match error {
+        aix::obs::SummaryError::Io(source) => AixError::io(path.display().to_string(), source),
+        other => AixError::io(
+            path.display().to_string(),
+            std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
+        ),
+    }
 }
 
 fn read_library(path: &str) -> Result<ApproxLibrary, AixError> {
@@ -414,7 +569,7 @@ fn flow(options: &HashMap<String, String>) -> CliResult {
     let library = match get(options, "--library") {
         Some(path) => read_library(path)?,
         None => {
-            eprintln!("(no --library given: characterizing the IDCT components, ~minutes)");
+            aix::obs::progress!("(no --library given: characterizing the IDCT components, ~minutes)");
             let engine =
                 CharacterizationEngine::new(Arc::clone(&cells), parse_engine_options(options)?);
             let configs: Vec<CharacterizationConfig> = [
@@ -475,8 +630,8 @@ fn flow(options: &HashMap<String, String>) -> CliResult {
         }
     }
     for warning in verified.warnings() {
-        eprintln!(
-            "warning: block `{}` misses its margin target by {:.1} ps at precision {}b",
+        aix::obs::warn!(
+            "block `{}` misses its margin target by {:.1} ps at precision {}b",
             warning.name,
             -warning.stats.min_ps,
             warning.final_precision
@@ -498,7 +653,7 @@ fn verify(options: &HashMap<String, String>) -> CliResult {
     let library = match get(options, "--library") {
         Some(path) => read_library(path)?,
         None => {
-            eprintln!("(no --library given: characterizing a quick demo library)");
+            aix::obs::progress!("(no --library given: characterizing a quick demo library)");
             let engine =
                 CharacterizationEngine::new(Arc::clone(&cells), parse_engine_options(options)?);
             let configs: Vec<CharacterizationConfig> =

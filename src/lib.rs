@@ -17,6 +17,8 @@
 //!   verification, fault injection and graceful precision degradation.
 //! * [`faults`] — the deterministic fault-injection harness (`AIX_FAULT`)
 //!   used to exercise campaign fault tolerance end to end.
+//! * [`obs`] — the structured observability layer: hierarchical spans,
+//!   typed metrics and the crash-safe JSONL event trace behind `--trace`.
 //! * [`dct`], [`image`] — the error-tolerant multimedia case study.
 //!
 //! # Examples
@@ -43,6 +45,7 @@ pub use aix_dct as dct;
 pub use aix_faults as faults;
 pub use aix_image as image;
 pub use aix_netlist as netlist;
+pub use aix_obs as obs;
 pub use aix_power as power;
 pub use aix_sim as sim;
 pub use aix_sta as sta;
