@@ -1,0 +1,8 @@
+//! Measures scalar-vs-packed simulation-engine throughput and appends the
+//! `sim:` records to `out/BENCH_characterize.json`. Pass `--full` for
+//! paper-scale workloads; see `aix_bench::Options` for flags.
+
+fn main() {
+    let options = aix_bench::Options::from_env();
+    print!("{}", aix_bench::experiments::sim::run(&options));
+}

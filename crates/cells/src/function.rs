@@ -158,6 +158,54 @@ impl CellFunction {
         }
     }
 
+    /// Evaluates the function on 64 input vectors at once: bit `l` of each
+    /// input word carries lane `l`'s value, and bit `l` of each output word
+    /// receives lane `l`'s result. This is the parallel-pattern (bit-sliced)
+    /// form of [`eval`](Self::eval): every gate costs a handful of bitwise
+    /// machine ops for a whole word of stimulus vectors.
+    ///
+    /// Lanes beyond the caller's batch carry unspecified values; callers
+    /// mask with their lane mask before counting bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` or `outputs` are shorter than
+    /// [`input_count`](Self::input_count) /
+    /// [`output_count`](Self::output_count).
+    pub fn eval_words(self, inputs: &[u64], outputs: &mut [u64]) {
+        assert!(inputs.len() >= self.input_count(), "too few inputs for {self}");
+        assert!(
+            outputs.len() >= self.output_count(),
+            "too few outputs for {self}"
+        );
+        match self {
+            CellFunction::Inv => outputs[0] = !inputs[0],
+            CellFunction::Buf | CellFunction::Dff => outputs[0] = inputs[0],
+            CellFunction::Nand2 => outputs[0] = !(inputs[0] & inputs[1]),
+            CellFunction::Nand3 => outputs[0] = !(inputs[0] & inputs[1] & inputs[2]),
+            CellFunction::Nor2 => outputs[0] = !(inputs[0] | inputs[1]),
+            CellFunction::Nor3 => outputs[0] = !(inputs[0] | inputs[1] | inputs[2]),
+            CellFunction::And2 => outputs[0] = inputs[0] & inputs[1],
+            CellFunction::Or2 => outputs[0] = inputs[0] | inputs[1],
+            CellFunction::Xor2 => outputs[0] = inputs[0] ^ inputs[1],
+            CellFunction::Xnor2 => outputs[0] = !(inputs[0] ^ inputs[1]),
+            CellFunction::Aoi21 => outputs[0] = !((inputs[0] & inputs[1]) | inputs[2]),
+            CellFunction::Oai21 => outputs[0] = !((inputs[0] | inputs[1]) & inputs[2]),
+            CellFunction::Mux2 => {
+                outputs[0] = (inputs[0] & !inputs[2]) | (inputs[1] & inputs[2]);
+            }
+            CellFunction::HalfAdder => {
+                outputs[0] = inputs[0] ^ inputs[1];
+                outputs[1] = inputs[0] & inputs[1];
+            }
+            CellFunction::FullAdder => {
+                let (a, b, c) = (inputs[0], inputs[1], inputs[2]);
+                outputs[0] = a ^ b ^ c;
+                outputs[1] = (a & b) | (c & (a ^ b));
+            }
+        }
+    }
+
     /// The library naming stem, e.g. `NAND2` for [`CellFunction::Nand2`].
     pub fn stem(self) -> &'static str {
         match self {
@@ -275,5 +323,45 @@ mod tests {
     fn eval_checks_arity() {
         let mut out = [false; 2];
         CellFunction::FullAdder.eval(&[true], &mut out);
+    }
+
+    #[test]
+    fn eval_words_matches_eval_on_every_lane() {
+        // Deterministic pseudo-random lane words exercise all input
+        // combinations of every function in every lane position.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for f in CellFunction::ALL {
+            for _ in 0..8 {
+                let words: Vec<u64> = (0..f.input_count()).map(|_| next()).collect();
+                let mut out_words = [0u64; MAX_OUTPUTS];
+                f.eval_words(&words, &mut out_words);
+                for lane in 0..64 {
+                    let bits: Vec<bool> =
+                        words.iter().map(|w| w >> lane & 1 == 1).collect();
+                    let mut out_bits = [false; MAX_OUTPUTS];
+                    f.eval(&bits, &mut out_bits);
+                    for pin in 0..f.output_count() {
+                        assert_eq!(
+                            out_words[pin] >> lane & 1 == 1,
+                            out_bits[pin],
+                            "{f} pin {pin} lane {lane}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too few inputs")]
+    fn eval_words_checks_arity() {
+        let mut out = [0u64; 2];
+        CellFunction::FullAdder.eval_words(&[0], &mut out);
     }
 }

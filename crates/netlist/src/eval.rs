@@ -5,9 +5,9 @@ use aix_cells::{CellFunction, MAX_INPUTS, MAX_OUTPUTS};
 
 /// Reusable functional evaluator.
 ///
-/// Precomputes the topological schedule once and reuses its value buffers,
-/// so evaluating millions of vectors (the paper applies 10⁶ stimuli per
-/// component) costs one pass over the gate list each.
+/// Uses the netlist's cached levelized schedule and reuses its value
+/// buffers, so evaluating millions of vectors (the paper applies 10⁶
+/// stimuli per component) costs one pass over the gate list each.
 ///
 /// # Examples
 ///
@@ -32,8 +32,8 @@ use aix_cells::{CellFunction, MAX_INPUTS, MAX_OUTPUTS};
 #[derive(Debug)]
 pub struct Evaluator<'nl> {
     netlist: &'nl Netlist,
-    /// Gate indices in topological order.
-    schedule: Vec<u32>,
+    /// The netlist's shared levelized schedule.
+    schedule: std::sync::Arc<crate::Schedule>,
     /// Per-gate function, flattened for cache-friendly dispatch.
     functions: Vec<CellFunction>,
     /// Current value of every net.
@@ -49,8 +49,7 @@ impl<'nl> Evaluator<'nl> {
     ///
     /// Returns [`NetlistError::CombinationalCycle`] if the netlist is cyclic.
     pub fn new(netlist: &'nl Netlist) -> Result<Self, NetlistError> {
-        let order = netlist.topological_order()?;
-        let schedule: Vec<u32> = order.iter().map(|g| g.0).collect();
+        let schedule = netlist.schedule()?;
         let functions = netlist
             .gates()
             .map(|(_, g)| netlist.library().cell(g.cell).function)
@@ -90,7 +89,7 @@ impl<'nl> Evaluator<'nl> {
         }
         let mut in_buf = [false; MAX_INPUTS];
         let mut out_buf = [false; MAX_OUTPUTS];
-        for &g in &self.schedule {
+        for &g in self.schedule.order() {
             let gate = self.netlist.gate(crate::GateId(g));
             let function = self.functions[g as usize];
             for (slot, &net) in in_buf.iter_mut().zip(&gate.inputs) {

@@ -1,6 +1,74 @@
-//! Graph algorithms over netlists: topological ordering (Kahn's algorithm).
+//! Graph algorithms over netlists: topological ordering (Kahn's algorithm)
+//! and the levelized evaluation schedule shared by every functional engine.
 
 use crate::{GateId, NetDriver, Netlist, NetlistError};
+
+/// A levelized evaluation schedule: every gate annotated with its logic
+/// level (the longest gate-path distance from a primary input), and the
+/// gate list sorted by `(level, gate id)`.
+///
+/// The order is a valid topological order, so it drives the scalar
+/// [`Evaluator`](crate::Evaluator) directly; the level structure is what
+/// bit-parallel and (future) data-parallel engines key on — all gates of a
+/// level are independent of one another. Netlists cache their schedule
+/// (see [`Netlist::schedule`]), so levelization is a one-time cost however
+/// many evaluators a netlist feeds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Raw gate indices in `(level, id)` order — a topological order.
+    order: Vec<u32>,
+    /// Logic level of each gate, indexed by raw gate id.
+    level_of: Vec<u32>,
+    /// Number of levels (0 for a gate-free netlist).
+    levels: u32,
+}
+
+impl Schedule {
+    /// Gate indices in evaluation (fanin-before-fanout) order.
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Evaluation order as [`GateId`]s.
+    pub fn gate_order(&self) -> impl Iterator<Item = GateId> + '_ {
+        self.order.iter().map(|&g| GateId(g))
+    }
+
+    /// Logic level of `gate` (0 = fed only by primary inputs or constants).
+    pub fn level(&self, gate: GateId) -> u32 {
+        self.level_of[gate.index()]
+    }
+
+    /// Number of logic levels.
+    pub fn level_count(&self) -> u32 {
+        self.levels
+    }
+}
+
+/// Levelizes `netlist`: topological order first, then longest-path levels
+/// in one pass, then a stable `(level, id)` sort.
+pub(crate) fn levelize(netlist: &Netlist) -> Result<Schedule, NetlistError> {
+    let topo = topological_order(netlist)?;
+    let mut level_of = vec![0u32; netlist.gate_count()];
+    let mut levels = 0u32;
+    for &gate_id in &topo {
+        let mut level = 0u32;
+        for &net in &netlist.gate(gate_id).inputs {
+            if let NetDriver::Gate { gate: driver, .. } = netlist.net(net).driver {
+                level = level.max(level_of[driver.index()] + 1);
+            }
+        }
+        level_of[gate_id.index()] = level;
+        levels = levels.max(level + 1);
+    }
+    let mut order: Vec<u32> = topo.iter().map(|g| g.0).collect();
+    order.sort_by_key(|&g| (level_of[g as usize], g));
+    Ok(Schedule {
+        order,
+        level_of,
+        levels,
+    })
+}
 
 /// Computes a fanin-before-fanout ordering of all gates.
 ///
@@ -106,6 +174,43 @@ mod tests {
         let order = nl.topological_order().unwrap();
         let pos = |g: u32| order.iter().position(|x| x.0 == g).unwrap();
         assert!(pos(0) < pos(2) && pos(1) < pos(2));
+    }
+
+    #[test]
+    fn schedule_levels_respect_dependencies() {
+        let lib = Arc::new(Library::nangate45_like());
+        let inv = lib.find(CellFunction::Inv, DriveStrength::X1).unwrap();
+        let and = lib.find(CellFunction::And2, DriveStrength::X1).unwrap();
+        let mut nl = Netlist::new("diamond", lib);
+        let a = nl.add_input("a");
+        let l = nl.add_gate(inv, &[a]).unwrap()[0];
+        let r = nl.add_gate(inv, &[a]).unwrap()[0];
+        let y = nl.add_gate(and, &[l, r]).unwrap()[0];
+        nl.mark_output("y", y);
+        let schedule = nl.schedule().unwrap();
+        assert_eq!(schedule.level_count(), 2);
+        assert_eq!(schedule.level(crate::GateId(0)), 0);
+        assert_eq!(schedule.level(crate::GateId(1)), 0);
+        assert_eq!(schedule.level(crate::GateId(2)), 1);
+        // (level, id) order is a topological order with both INVs first.
+        assert_eq!(schedule.order(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn schedule_is_cached_and_invalidated_on_mutation() {
+        let lib = Arc::new(Library::nangate45_like());
+        let inv = lib.find(CellFunction::Inv, DriveStrength::X1).unwrap();
+        let mut nl = Netlist::new("chain", lib);
+        let a = nl.add_input("a");
+        let x = nl.add_gate(inv, &[a]).unwrap()[0];
+        nl.mark_output("y", x);
+        let first = nl.schedule().unwrap();
+        let again = nl.schedule().unwrap();
+        assert!(std::sync::Arc::ptr_eq(&first, &again), "second call hits the cache");
+        let y = nl.add_gate(inv, &[x]).unwrap()[0];
+        nl.mark_output("z", y);
+        let rebuilt = nl.schedule().unwrap();
+        assert_eq!(rebuilt.order().len(), 2, "mutation invalidates the cache");
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub use bus::{bus_from_u64, bus_to_u64, Bus};
 pub use dot::to_dot;
 pub use error::NetlistError;
 pub use eval::Evaluator;
+pub use graph::Schedule;
 pub use netlist::{Gate, GateId, Net, NetDriver, NetId, Netlist, PortDirection};
 pub use stats::NetlistStats;
 pub use verilog::to_verilog;

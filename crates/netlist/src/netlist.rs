@@ -1,9 +1,9 @@
 //! The netlist data structure and its construction API.
 
-use crate::{NetlistError, NetlistStats};
+use crate::{NetlistError, NetlistStats, Schedule};
 use aix_cells::{CellId, Library};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Index of a net (wire) within a [`Netlist`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -120,6 +120,9 @@ pub struct Netlist {
     inputs: Vec<NetId>,
     outputs: Vec<(String, NetId)>,
     const_nets: [Option<NetId>; 2],
+    /// Lazily computed levelized evaluation schedule, shared by every
+    /// evaluator over this netlist. Invalidated by topology mutations.
+    schedule: OnceLock<Arc<Schedule>>,
 }
 
 impl Netlist {
@@ -133,6 +136,7 @@ impl Netlist {
             inputs: Vec::new(),
             outputs: Vec::new(),
             const_nets: [None, None],
+            schedule: OnceLock::new(),
         }
     }
 
@@ -212,6 +216,7 @@ impl Netlist {
                 return Err(NetlistError::UnknownNet(net));
             }
         }
+        self.schedule.take();
         let gate_id = GateId(u32::try_from(self.gates.len()).expect("netlist exceeds u32 gates"));
         let outputs: Vec<NetId> = (0..function.output_count())
             .map(|pin| {
@@ -274,6 +279,7 @@ impl Netlist {
     ///
     /// Panics if `id` is out of range.
     pub fn gate_mut(&mut self, id: GateId) -> &mut Gate {
+        self.schedule.take();
         &mut self.gates[id.index()]
     }
 
@@ -379,6 +385,23 @@ impl Netlist {
     /// cyclic.
     pub fn topological_order(&self) -> Result<Vec<GateId>, NetlistError> {
         crate::graph::topological_order(self)
+    }
+
+    /// The levelized evaluation schedule, computed once per topology and
+    /// shared (via `Arc`) by every evaluator. Mutating the topology with
+    /// [`add_gate`](Self::add_gate) or [`gate_mut`](Self::gate_mut)
+    /// invalidates the cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the gate graph is
+    /// cyclic.
+    pub fn schedule(&self) -> Result<Arc<Schedule>, NetlistError> {
+        if let Some(cached) = self.schedule.get() {
+            return Ok(Arc::clone(cached));
+        }
+        let fresh = Arc::new(crate::graph::levelize(self)?);
+        Ok(Arc::clone(self.schedule.get_or_init(|| fresh)))
     }
 
     /// Per-net fanout: the `(gate, input pin)` pairs reading each net.

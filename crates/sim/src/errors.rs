@@ -1,7 +1,9 @@
 //! Timing-error statistics: the paper's motivational measurement (Fig. 1).
 
+use crate::golden::{golden_lane_word, golden_word};
+use crate::packed::{PackedEvaluator, SimEngine, LANES};
 use crate::TimedSimulator;
-use aix_netlist::{bus_to_u64, Netlist, NetlistError};
+use aix_netlist::{Netlist, NetlistError};
 use aix_sta::NetDelays;
 
 /// Error statistics of a component clocked at a fixed period while its
@@ -42,7 +44,8 @@ impl ErrorStats {
 }
 
 /// Clocks `netlist` at `clock_ps` with the given delay annotation and
-/// measures how often sampled outputs are wrong over `stimuli`.
+/// measures how often sampled outputs are wrong over `stimuli`, using the
+/// engine selected by `AIX_SIM_ENGINE` (packed by default).
 ///
 /// Numeric error statistics are only meaningful for netlists whose outputs
 /// form one unsigned word (ports in LSB-first order), which holds for every
@@ -61,15 +64,61 @@ pub fn measure_errors<I>(
 where
     I: IntoIterator<Item = Vec<bool>>,
 {
+    measure_errors_with(netlist, delays, clock_ps, stimuli, SimEngine::from_env_or_default())
+}
+
+/// [`measure_errors`] with an explicit engine choice.
+///
+/// The event-driven clocking itself is irreducibly per-vector (each vector
+/// has its own event queue), so both engines step the timed simulator
+/// scalar-wise; `Packed` computes the golden settled reference and all
+/// comparison statistics 64 vectors per word. The two paths are
+/// byte-identical — floating-point accumulation happens in stimulus order
+/// on both.
+///
+/// # Errors
+///
+/// Propagates simulator construction and width errors.
+pub fn measure_errors_with<I>(
+    netlist: &Netlist,
+    delays: &NetDelays,
+    clock_ps: f64,
+    stimuli: I,
+    engine: SimEngine,
+) -> Result<ErrorStats, NetlistError>
+where
+    I: IntoIterator<Item = Vec<bool>>,
+{
+    match engine {
+        SimEngine::Scalar => measure_errors_scalar(netlist, delays, clock_ps, stimuli),
+        SimEngine::Packed => measure_errors_packed(netlist, delays, clock_ps, stimuli),
+    }
+}
+
+fn new_stats() -> (ErrorStats, f64) {
+    (
+        ErrorStats {
+            vectors: 0,
+            erroneous: 0,
+            wrong_bits: 0,
+            mean_abs_error: 0.0,
+            max_abs_error: 0,
+        },
+        0.0f64,
+    )
+}
+
+fn measure_errors_scalar<I>(
+    netlist: &Netlist,
+    delays: &NetDelays,
+    clock_ps: f64,
+    stimuli: I,
+) -> Result<ErrorStats, NetlistError>
+where
+    I: IntoIterator<Item = Vec<bool>>,
+{
     let mut sim = TimedSimulator::new(netlist, delays)?;
-    let mut stats = ErrorStats {
-        vectors: 0,
-        erroneous: 0,
-        wrong_bits: 0,
-        mean_abs_error: 0.0,
-        max_abs_error: 0,
-    };
-    let mut total_abs_error = 0.0f64;
+    let (mut stats, mut total_abs_error) = new_stats();
     for vector in stimuli {
         let outcome = sim.step(&vector, clock_ps)?;
         stats.vectors += 1;
@@ -81,13 +130,82 @@ where
                 .zip(&outcome.settled)
                 .filter(|(s, g)| s != g)
                 .count() as u64;
-            let bits = outcome.sampled.len().min(64);
-            let sampled = bus_to_u64(&outcome.sampled[..bits]);
-            let settled = bus_to_u64(&outcome.settled[..bits]);
-            let err = sampled.abs_diff(settled);
+            let err = golden_word(&outcome.sampled).abs_diff(golden_word(&outcome.settled));
             total_abs_error += err as f64;
             stats.max_abs_error = stats.max_abs_error.max(err);
         }
+    }
+    if stats.vectors > 0 {
+        stats.mean_abs_error = total_abs_error / stats.vectors as f64;
+    }
+    Ok(stats)
+}
+
+fn measure_errors_packed<I>(
+    netlist: &Netlist,
+    delays: &NetDelays,
+    clock_ps: f64,
+    stimuli: I,
+) -> Result<ErrorStats, NetlistError>
+where
+    I: IntoIterator<Item = Vec<bool>>,
+{
+    let _span = aix_obs::span!(
+        "sim_packed",
+        consumer = "measure_errors",
+        nets = netlist.net_count()
+    );
+    let mut sim = TimedSimulator::new(netlist, delays)?;
+    let mut golden = PackedEvaluator::new(netlist)?;
+    let (mut stats, mut total_abs_error) = new_stats();
+    let mut sampled_words = vec![0u64; netlist.outputs().len()];
+    let mut batch: Vec<Vec<bool>> = Vec::with_capacity(LANES);
+    let mut flush = |batch: &[Vec<bool>],
+                     stats: &mut ErrorStats,
+                     total_abs_error: &mut f64|
+     -> Result<(), NetlistError> {
+        // Golden settled reference for all lanes in one netlist walk; the
+        // timed engine supplies the sampled side per vector.
+        golden.eval_batch(batch)?;
+        sampled_words.fill(0);
+        for (lane, vector) in batch.iter().enumerate() {
+            let outcome = sim.step(vector, clock_ps)?;
+            for (word, &bit) in sampled_words.iter_mut().zip(&outcome.sampled) {
+                *word |= u64::from(bit) << lane;
+            }
+        }
+        let mask = golden.lane_mask();
+        let golden_words = golden.output_words();
+        let mut erroneous_lanes = 0u64;
+        for (&sampled, &settled) in sampled_words.iter().zip(golden_words) {
+            let diff = (sampled ^ settled) & mask;
+            erroneous_lanes |= diff;
+            stats.wrong_bits += u64::from(diff.count_ones());
+        }
+        stats.vectors += batch.len() as u64;
+        stats.erroneous += u64::from(erroneous_lanes.count_ones());
+        // Numeric error per erroneous lane, in stimulus order so the f64
+        // accumulation matches the scalar engine bit for bit.
+        let mut remaining = erroneous_lanes;
+        while remaining != 0 {
+            let lane = remaining.trailing_zeros() as usize;
+            remaining &= remaining - 1;
+            let err = golden_lane_word(&sampled_words, lane)
+                .abs_diff(golden_lane_word(golden_words, lane));
+            *total_abs_error += err as f64;
+            stats.max_abs_error = stats.max_abs_error.max(err);
+        }
+        Ok(())
+    };
+    for vector in stimuli {
+        batch.push(vector);
+        if batch.len() == LANES {
+            flush(&batch, &mut stats, &mut total_abs_error)?;
+            batch.clear();
+        }
+    }
+    if !batch.is_empty() {
+        flush(&batch, &mut stats, &mut total_abs_error)?;
     }
     if stats.vectors > 0 {
         stats.mean_abs_error = total_abs_error / stats.vectors as f64;

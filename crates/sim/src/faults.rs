@@ -6,7 +6,9 @@
 //! under a stimulus set — which doubles as a measure of how thoroughly a
 //! characterization stimulus actually exercises a netlist.
 
-use aix_netlist::{Evaluator, NetDriver, NetId, Netlist, NetlistError};
+use crate::golden::reference_outputs;
+use crate::packed::{lane_mask, PackedEvaluator, SimEngine, LANES};
+use aix_netlist::{NetDriver, NetId, Netlist, NetlistError};
 use std::fmt;
 
 /// One stuck-at fault site.
@@ -79,7 +81,8 @@ pub fn full_fault_list(netlist: &Netlist) -> Vec<StuckAtFault> {
 }
 
 /// Simulates every fault in `faults` against every vector in `stimuli`
-/// (serial fault simulation with fault-free reference), reporting coverage.
+/// (single-fault simulation with fault-free reference), reporting coverage.
+/// Uses the engine selected by `AIX_SIM_ENGINE` (packed by default).
 ///
 /// # Errors
 ///
@@ -89,12 +92,39 @@ pub fn simulate_faults(
     faults: &[StuckAtFault],
     stimuli: &[Vec<bool>],
 ) -> Result<FaultCoverage, NetlistError> {
-    // Fault-free reference responses.
-    let mut evaluator = Evaluator::new(netlist)?;
-    let mut references = Vec::with_capacity(stimuli.len());
-    for vector in stimuli {
-        references.push(evaluator.eval(vector)?.to_vec());
+    simulate_faults_with(netlist, faults, stimuli, SimEngine::from_env_or_default())
+}
+
+/// [`simulate_faults`] with an explicit engine choice.
+///
+/// The packed engine runs classic parallel-pattern single-fault
+/// simulation: 64 vectors per fault per netlist walk, detection decided by
+/// XORing the faulty output words against the fault-free reference words.
+/// Detection is a boolean per fault, so both engines report identical
+/// `FaultCoverage` (the differential suite pins this).
+///
+/// # Errors
+///
+/// Propagates evaluator errors (cyclic netlist, width mismatch).
+pub fn simulate_faults_with(
+    netlist: &Netlist,
+    faults: &[StuckAtFault],
+    stimuli: &[Vec<bool>],
+    engine: SimEngine,
+) -> Result<FaultCoverage, NetlistError> {
+    match engine {
+        SimEngine::Scalar => simulate_faults_scalar(netlist, faults, stimuli),
+        SimEngine::Packed => simulate_faults_packed(netlist, faults, stimuli),
     }
+}
+
+fn simulate_faults_scalar(
+    netlist: &Netlist,
+    faults: &[StuckAtFault],
+    stimuli: &[Vec<bool>],
+) -> Result<FaultCoverage, NetlistError> {
+    // Fault-free reference responses from the shared golden helper.
+    let references = reference_outputs(netlist, stimuli, SimEngine::Scalar)?;
     let order = netlist.topological_order()?;
     let mut detected = Vec::new();
     let mut undetected = Vec::new();
@@ -103,6 +133,52 @@ pub fn simulate_faults(
         for (vector, reference) in stimuli.iter().zip(&references) {
             let response = eval_with_fault(netlist, &order, vector, fault);
             if &response != reference {
+                caught = true;
+                break;
+            }
+        }
+        if caught {
+            detected.push(fault);
+        } else {
+            undetected.push(fault);
+        }
+    }
+    Ok(FaultCoverage {
+        detected,
+        undetected,
+        vectors: stimuli.len(),
+    })
+}
+
+fn simulate_faults_packed(
+    netlist: &Netlist,
+    faults: &[StuckAtFault],
+    stimuli: &[Vec<bool>],
+) -> Result<FaultCoverage, NetlistError> {
+    let _span = aix_obs::span!(
+        "sim_packed",
+        consumer = "simulate_faults",
+        faults = faults.len()
+    );
+    let mut packed = PackedEvaluator::new(netlist)?;
+    // Fault-free reference output words, one word set per 64-vector batch.
+    let mut reference_words: Vec<Vec<u64>> = Vec::new();
+    for batch in stimuli.chunks(LANES) {
+        packed.eval_batch(batch)?;
+        reference_words.push(packed.output_words().to_vec());
+    }
+    let mut detected = Vec::new();
+    let mut undetected = Vec::new();
+    for &fault in faults {
+        let mut caught = false;
+        for (batch, reference) in stimuli.chunks(LANES).zip(&reference_words) {
+            packed.eval_batch_forced(batch, Some((fault.net, fault.value)))?;
+            let mask = lane_mask(batch.len());
+            let mut diff = 0u64;
+            for (&good, &bad) in reference.iter().zip(packed.output_words()) {
+                diff |= (good ^ bad) & mask;
+            }
+            if diff != 0 {
                 caught = true;
                 break;
             }

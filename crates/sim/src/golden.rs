@@ -1,0 +1,127 @@
+//! Shared golden-reference helpers.
+//!
+//! Every error/fault measurement in this crate compares a circuit response
+//! against a *golden* functional reference — the settled zero-delay
+//! outputs, numerically interpreted as one unsigned word where that makes
+//! sense. Historically each consumer re-derived that reference inline;
+//! centralizing it here means the scalar and packed engines share one
+//! reference implementation and cannot drift apart on the reference side.
+
+use crate::packed::{PackedEvaluator, SimEngine, LANES};
+use aix_netlist::{Evaluator, Netlist, NetlistError};
+
+/// Numeric value of an output bit vector (port order, LSB first),
+/// truncated to the low 64 bits — the golden word the paper's error
+/// magnitudes are measured against. Unlike [`aix_netlist::bus_to_u64`]
+/// this accepts arbitrary widths, so callers need no pre-truncation.
+pub fn golden_word(bits: &[bool]) -> u64 {
+    bits.iter()
+        .take(64)
+        .enumerate()
+        .fold(0u64, |word, (i, &b)| word | (u64::from(b) << i))
+}
+
+/// The same golden word extracted from packed lane words (one `u64` per
+/// output port): the numeric value seen by lane `lane`.
+pub fn golden_lane_word(words: &[u64], lane: usize) -> u64 {
+    assert!(lane < LANES, "lane {lane} out of range");
+    words
+        .iter()
+        .take(64)
+        .enumerate()
+        .fold(0u64, |word, (i, &w)| word | (((w >> lane) & 1) << i))
+}
+
+/// Fault-free functional reference responses for a stimulus set under the
+/// chosen engine. Both engines produce identical vectors (the scalar and
+/// packed evaluators implement the same zero-delay semantics); exposing
+/// the engine keeps the differential harness honest about which path
+/// computed the reference.
+///
+/// # Errors
+///
+/// Propagates evaluator errors (cyclic netlist, width mismatch).
+pub fn reference_outputs(
+    netlist: &Netlist,
+    stimuli: &[Vec<bool>],
+    engine: SimEngine,
+) -> Result<Vec<Vec<bool>>, NetlistError> {
+    let mut references = Vec::with_capacity(stimuli.len());
+    match engine {
+        SimEngine::Scalar => {
+            let mut evaluator = Evaluator::new(netlist)?;
+            for vector in stimuli {
+                references.push(evaluator.eval(vector)?.to_vec());
+            }
+        }
+        SimEngine::Packed => {
+            let mut packed = PackedEvaluator::new(netlist)?;
+            for batch in stimuli.chunks(LANES) {
+                packed.eval_batch(batch)?;
+                for lane in 0..batch.len() {
+                    references.push(packed.output_lane_values(lane));
+                }
+            }
+        }
+    }
+    Ok(references)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OperandSource, UniformOperands};
+    use aix_arith::{build_adder, AdderKind, ComponentSpec};
+    use aix_cells::Library;
+    use aix_netlist::bus_to_u64;
+    use std::sync::Arc;
+
+    #[test]
+    fn golden_word_matches_bus_to_u64_and_truncates() {
+        let bits = [true, false, true, true];
+        assert_eq!(golden_word(&bits), bus_to_u64(&bits));
+        assert_eq!(golden_word(&bits), 0b1101);
+        // 70 bits: only the low 64 land in the word.
+        let mut wide = vec![false; 70];
+        wide[0] = true;
+        wide[69] = true;
+        assert_eq!(golden_word(&wide), 1);
+    }
+
+    #[test]
+    fn golden_lane_word_extracts_per_lane_values() {
+        // Two ports, three lanes: port0 = 1,0,1; port1 = 0,1,1.
+        let words = [0b101u64, 0b110u64];
+        assert_eq!(golden_lane_word(&words, 0), 0b01);
+        assert_eq!(golden_lane_word(&words, 1), 0b10);
+        assert_eq!(golden_lane_word(&words, 2), 0b11);
+    }
+
+    /// The golden reference *is* the arithmetic model: an adder's reference
+    /// outputs must equal `a + b` exactly, under both engines.
+    #[test]
+    fn reference_outputs_match_arith_model_under_both_engines() {
+        let lib = Arc::new(Library::nangate45_like());
+        let width = 8;
+        let nl = build_adder(&lib, AdderKind::RippleCarry, ComponentSpec::full(width)).unwrap();
+        let stimuli: Vec<Vec<bool>> = UniformOperands::new(width, 7).vectors(200).collect();
+        for engine in [SimEngine::Scalar, SimEngine::Packed] {
+            let refs = reference_outputs(&nl, &stimuli, engine).unwrap();
+            for (vector, outputs) in stimuli.iter().zip(&refs) {
+                let a = bus_to_u64(&vector[..width]);
+                let b = bus_to_u64(&vector[width..]);
+                assert_eq!(golden_word(outputs), a + b, "{engine}: {a}+{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_references() {
+        let lib = Arc::new(Library::nangate45_like());
+        let nl = build_adder(&lib, AdderKind::KoggeStone, ComponentSpec::full(6)).unwrap();
+        let stimuli: Vec<Vec<bool>> = UniformOperands::new(6, 3).vectors(130).collect();
+        let scalar = reference_outputs(&nl, &stimuli, SimEngine::Scalar).unwrap();
+        let packed = reference_outputs(&nl, &stimuli, SimEngine::Packed).unwrap();
+        assert_eq!(scalar, packed);
+    }
+}

@@ -15,6 +15,10 @@
 //! * [`Activity`] / [`stress_pairs`] — signal-probability extraction and
 //!   its conversion to per-gate (pMOS, nMOS) stress factors and stress
 //!   histograms (reproduces Fig. 5 and feeds actual-case STA).
+//! * [`PackedEvaluator`] / [`SimEngine`] — bit-parallel (64 vectors per
+//!   `u64` word) functional simulation backing the untimed value-mode
+//!   consumers above; select per call with `*_with` variants or globally
+//!   via the `AIX_SIM_ENGINE` environment variable.
 //!
 //! # Examples
 //!
@@ -41,11 +45,15 @@
 mod activity;
 mod errors;
 mod faults;
+mod golden;
+mod packed;
 mod stimuli;
 mod timed;
 
 pub use activity::{collect_timed_activity, stress_histogram, stress_pairs, Activity, StressHistogram};
-pub use errors::{measure_errors, ErrorStats};
-pub use faults::{full_fault_list, simulate_faults, FaultCoverage, StuckAtFault};
+pub use errors::{measure_errors, measure_errors_with, ErrorStats};
+pub use faults::{full_fault_list, simulate_faults, simulate_faults_with, FaultCoverage, StuckAtFault};
+pub use golden::{golden_lane_word, golden_word, reference_outputs};
+pub use packed::{lane_mask, PackedEvaluator, SimEngine, LANES};
 pub use stimuli::{NormalOperands, OperandSource, SignedNormalOperands, UniformOperands, VectorStream};
 pub use timed::{StepOutcome, TimedSimulator};

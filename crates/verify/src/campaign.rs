@@ -16,7 +16,7 @@ use aix_core::{
     AixError, ApproxLibrary, CharacterizationScenario, ComponentCharacterization, ComponentKind,
     NetlistCache,
 };
-use aix_sim::{measure_errors, OperandSource, SignedNormalOperands};
+use aix_sim::{measure_errors_with, OperandSource, SignedNormalOperands, SimEngine};
 use aix_sta::{analyze, NetDelays};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -39,6 +39,10 @@ pub struct VerifyConfig {
     /// Bound on the degradation retry loop: how many extra LSBs the
     /// `Degrade` policy may drop for one block before giving up.
     pub max_degrade_steps: usize,
+    /// Functional engine driving the RTL cross-check simulations. The
+    /// default honors `AIX_SIM_ENGINE` (packed when unset); the CLI's
+    /// `--sim-engine` overrides it per run.
+    pub sim_engine: SimEngine,
 }
 
 impl Default for VerifyConfig {
@@ -50,6 +54,7 @@ impl Default for VerifyConfig {
             margin_target_ps: 0.0,
             sim_vectors: 128,
             max_degrade_steps: 8,
+            sim_engine: SimEngine::from_env_or_default(),
         }
     }
 }
@@ -275,12 +280,13 @@ fn simulate_violation(
     config: &VerifyConfig,
 ) -> Result<f64, AixError> {
     let padding = netlist.inputs().len().saturating_sub(2 * width);
-    let stats = measure_errors(
+    let stats = measure_errors_with(
         netlist,
         delays,
         constraint_ps,
         SignedNormalOperands::for_width(width, config.seed)
             .vectors_with_zeros(config.sim_vectors, padding),
+        config.sim_engine,
     )?;
     Ok(stats.error_rate())
 }

@@ -25,7 +25,7 @@ use aix::core::{
 use aix::dct::DatapathPrecision;
 use aix::faults::FaultPlan;
 use aix::netlist::{to_dot, to_verilog};
-use aix::sim::{measure_errors, OperandSource, SignedNormalOperands};
+use aix::sim::{measure_errors, OperandSource, SignedNormalOperands, SimEngine};
 use aix::sta::{analyze, to_sdf, NetDelays};
 use aix::synth::Effort;
 use aix::verify::{
@@ -48,7 +48,9 @@ fn main() -> ExitCode {
     // `trace` takes a positional action (`summarize`) before its flags.
     let action = if command == "trace" { args.next() } else { None };
     let options = parse_options(args);
-    let result = configure_observability(&command, &options).and_then(|_| {
+    let result = configure_observability(&command, &options)
+        .and_then(|_| configure_sim_engine(&options))
+        .and_then(|_| {
         let result = match command.as_str() {
             "characterize" => characterize(&options),
             "flow" => flow(&options),
@@ -120,6 +122,34 @@ fn configure_observability(
     Ok(())
 }
 
+/// Applies `--sim-engine scalar|packed` by exporting it as
+/// `AIX_SIM_ENGINE` for the whole process, so every simulation entry
+/// point — including library-level defaults — honors one engine choice.
+/// With no flag, an already-set environment value is validated strictly
+/// so typos fail fast instead of silently falling back to the default.
+fn configure_sim_engine(options: &HashMap<String, String>) -> Result<(), AixError> {
+    match get(options, "--sim-engine") {
+        Some(value) => {
+            let engine: SimEngine = value.parse().map_err(|_| AixError::InvalidOption {
+                flag: "--sim-engine",
+                value: value.to_owned(),
+                expected: "scalar|packed",
+            })?;
+            std::env::set_var(SimEngine::ENV_VAR, engine.to_string());
+        }
+        None => {
+            if SimEngine::from_env().is_err() {
+                return Err(AixError::InvalidOption {
+                    flag: "AIX_SIM_ENGINE",
+                    value: std::env::var(SimEngine::ENV_VAR).unwrap_or_default(),
+                    expected: "scalar|packed",
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// The default trace location: one file per run, named after the wall
 /// clock and process so concurrent runs never collide.
 fn default_trace_path() -> PathBuf {
@@ -179,6 +209,11 @@ commands:
   help                            show this message
 
 global flags (any command):
+  --sim-engine scalar|packed      functional simulation engine for value-mode
+                                  runs (error rates, activity, fault coverage;
+                                  also AIX_SIM_ENGINE). packed evaluates 64
+                                  vectors per word and is the default; both
+                                  engines produce byte-identical results
   --trace[=FILE]                  record a structured JSONL event trace
                                   (default out/trace/run-<ts>-<pid>.jsonl;
                                   also AIX_TRACE=1|PATH). Set
@@ -338,6 +373,9 @@ fn parse_verify_config(options: &HashMap<String, String>) -> Result<VerifyConfig
             defaults.max_degrade_steps,
             "a step count",
         )?,
+        // `configure_sim_engine` already folded --sim-engine into the
+        // environment, which the default reflects.
+        sim_engine: defaults.sim_engine,
     })
 }
 

@@ -1,0 +1,164 @@
+//! Differential conformance: the scalar and packed simulation engines must
+//! produce *identical* results — same `ErrorStats` (including the f64
+//! fields, bit for bit), same `Activity`, same `FaultCoverage` — for every
+//! library component shape, at vector counts that exercise full words,
+//! partial words and the scalar tail.
+
+use aix::aging::{AgingModel, AgingScenario, Lifetime};
+use aix::arith::{
+    build_adder, build_mac, build_multiplier, AdderKind, ComponentSpec, MultiplierKind,
+};
+use aix::cells::Library;
+use aix::netlist::Netlist;
+use aix::sim::{
+    full_fault_list, measure_errors_with, simulate_faults_with, Activity, OperandSource,
+    SimEngine, UniformOperands,
+};
+use aix::sta::{analyze, NetDelays};
+use std::sync::Arc;
+
+fn cells() -> Arc<Library> {
+    Arc::new(Library::nangate45_like())
+}
+
+/// Seeded uniform stimuli shaped to any component's input count.
+fn stimuli(netlist: &Netlist, count: usize, seed: u64) -> Vec<Vec<bool>> {
+    let inputs = netlist.inputs().len();
+    let width = (inputs / 2).clamp(1, 32);
+    let padding = inputs - 2 * width;
+    UniformOperands::new(width, seed)
+        .vectors_with_zeros(count, padding)
+        .collect()
+}
+
+/// Asserts both engines agree exactly on all three value-mode consumers.
+fn assert_engines_agree(name: &str, netlist: &Netlist, vectors: &[Vec<bool>]) {
+    let scalar_activity =
+        Activity::collect_with(netlist, vectors.iter().cloned(), SimEngine::Scalar)
+            .expect("scalar activity");
+    let packed_activity =
+        Activity::collect_with(netlist, vectors.iter().cloned(), SimEngine::Packed)
+            .expect("packed activity");
+    assert_eq!(
+        scalar_activity, packed_activity,
+        "{name}: Activity diverges over {} vectors",
+        vectors.len()
+    );
+
+    let model = AgingModel::calibrated();
+    let clock = analyze(netlist, &NetDelays::fresh(netlist))
+        .expect("acyclic netlist")
+        .max_delay_ps();
+    let aged = NetDelays::aged(
+        netlist,
+        &model,
+        AgingScenario::worst_case(Lifetime::YEARS_10),
+    );
+    let scalar_errors = measure_errors_with(
+        netlist,
+        &aged,
+        clock,
+        vectors.iter().cloned(),
+        SimEngine::Scalar,
+    )
+    .expect("scalar error measurement");
+    let packed_errors = measure_errors_with(
+        netlist,
+        &aged,
+        clock,
+        vectors.iter().cloned(),
+        SimEngine::Packed,
+    )
+    .expect("packed error measurement");
+    assert_eq!(
+        scalar_errors, packed_errors,
+        "{name}: ErrorStats diverges over {} vectors",
+        vectors.len()
+    );
+
+    let faults = full_fault_list(netlist);
+    let fault_vectors = &vectors[..vectors.len().min(96)];
+    let scalar_coverage =
+        simulate_faults_with(netlist, &faults, fault_vectors, SimEngine::Scalar)
+            .expect("scalar fault simulation");
+    let packed_coverage =
+        simulate_faults_with(netlist, &faults, fault_vectors, SimEngine::Packed)
+            .expect("packed fault simulation");
+    assert_eq!(
+        scalar_coverage, packed_coverage,
+        "{name}: FaultCoverage diverges over {} vectors",
+        fault_vectors.len()
+    );
+}
+
+#[test]
+fn every_component_shape_agrees_on_4k_vectors() {
+    let lib = cells();
+    // Adders are cheap to clock-simulate: full 4k differential vectors.
+    let components = [
+        (
+            "adder-8 (ripple)",
+            build_adder(&lib, AdderKind::RippleCarry, ComponentSpec::full(8)).unwrap(),
+            4000,
+        ),
+        (
+            "adder-16 (kogge-stone)",
+            build_adder(&lib, AdderKind::KoggeStone, ComponentSpec::full(16)).unwrap(),
+            4000,
+        ),
+        (
+            "adder-16/12 (carry-select, truncated)",
+            build_adder(
+                &lib,
+                AdderKind::CarrySelect,
+                ComponentSpec::new(16, 12).unwrap(),
+            )
+            .unwrap(),
+            4000,
+        ),
+        // Multiplier/MAC arrays glitch heavily under timed simulation;
+        // fewer vectors keep the tier-1 budget while still crossing many
+        // word boundaries.
+        (
+            "multiplier-8 (array)",
+            build_multiplier(&lib, MultiplierKind::Array, ComponentSpec::full(8)).unwrap(),
+            700,
+        ),
+        (
+            "mac-8",
+            build_mac(&lib, ComponentSpec::full(8)).unwrap(),
+            700,
+        ),
+    ];
+    for (index, (name, netlist, count)) in components.iter().enumerate() {
+        let vectors = stimuli(netlist, *count, 100 + index as u64);
+        assert_engines_agree(name, netlist, &vectors);
+    }
+}
+
+/// Vector counts around the 64-lane word boundary pin the scalar-tail
+/// path: 1 (tail only), 63 (one partial word), 64 (exactly one word),
+/// 65 (word + 1 tail), 1000 (15 words + 40 tail).
+#[test]
+fn word_boundary_vector_counts_agree() {
+    let lib = cells();
+    let netlist = build_adder(&lib, AdderKind::RippleCarry, ComponentSpec::full(8)).unwrap();
+    for (index, count) in [1usize, 63, 64, 65, 1000].into_iter().enumerate() {
+        let vectors = stimuli(&netlist, count, 200 + index as u64);
+        assert_engines_agree(&format!("adder-8 x{count}"), &netlist, &vectors);
+    }
+}
+
+/// The environment switch drives the same engines the explicit API does.
+#[test]
+fn default_collect_matches_both_explicit_engines() {
+    let lib = cells();
+    let netlist = build_adder(&lib, AdderKind::RippleCarry, ComponentSpec::full(8)).unwrap();
+    let vectors = stimuli(&netlist, 300, 7);
+    let default = Activity::collect(&netlist, vectors.iter().cloned()).unwrap();
+    for engine in [SimEngine::Scalar, SimEngine::Packed] {
+        let explicit =
+            Activity::collect_with(&netlist, vectors.iter().cloned(), engine).unwrap();
+        assert_eq!(default, explicit, "{engine} differs from the default");
+    }
+}

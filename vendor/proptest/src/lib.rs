@@ -239,6 +239,86 @@ macro_rules! impl_range_strategy {
 
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
 
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+impl<S: Strategy, const N: usize> Strategy for [S; N] {
+    type Value = [S::Value; N];
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|i| self[i].generate(rng))
+    }
+}
+
+/// Variable-size collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An element-count range, as real proptest's `SizeRange`.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            Self(len..len + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            Self(range)
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(range: RangeInclusive<usize>) -> Self {
+            Self(*range.start()..range.end() + 1)
+        }
+    }
+
+    /// A strategy producing `Vec`s whose length is sampled from `size`
+    /// and whose elements all come from one element strategy.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rand::Rng::gen_range(rng, self.size.0.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
 /// Fixed-size array strategies.
 pub mod array {
     use super::strategy::Strategy;
@@ -416,6 +496,33 @@ mod tests {
         let mut rng = crate::__rng_for_test("arrays");
         let block = crate::array::uniform32(any::<u8>()).generate(&mut rng);
         assert_eq!(block.len(), 32);
+    }
+
+    #[test]
+    fn tuple_and_array_strategies_sample_componentwise() {
+        let mut rng = crate::__rng_for_test("tuples");
+        for _ in 0..200 {
+            let (a, b, c) = (1usize..4, any::<bool>(), 10i32..20).generate(&mut rng);
+            assert!((1..4).contains(&a));
+            let _ = b;
+            assert!((10..20).contains(&c));
+            let picks = [0usize..8, 0usize..8, 0usize..8].generate(&mut rng);
+            assert!(picks.iter().all(|p| *p < 8));
+        }
+    }
+
+    #[test]
+    fn collection_vec_respects_size_bounds() {
+        let mut rng = crate::__rng_for_test("vecs");
+        for _ in 0..200 {
+            let open = crate::collection::vec(any::<bool>(), 2usize..5).generate(&mut rng);
+            assert!((2..5).contains(&open.len()));
+            let closed = crate::collection::vec(0usize..3, 1usize..=4).generate(&mut rng);
+            assert!((1..=4).contains(&closed.len()));
+            assert!(closed.iter().all(|x| *x < 3));
+            let exact = crate::collection::vec(any::<u8>(), 6usize).generate(&mut rng);
+            assert_eq!(exact.len(), 6);
+        }
     }
 
     proptest! {
