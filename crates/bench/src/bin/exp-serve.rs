@@ -1,0 +1,11 @@
+//! Load-tests an in-process `aix serve` daemon — concurrent clients,
+//! pinned-seed fault injection, deadlines and a shedding-sized queue —
+//! and appends the `serve:` outcome/latency record to
+//! `out/BENCH_serve.json`. Pass `--requests=N`, `--clients=N`,
+//! `--workers=N`, `--queue-cap=N` or `--fault=SPEC` to reshape the load;
+//! `--full` runs the 100-request acceptance load.
+
+fn main() {
+    let options = aix_bench::Options::from_env();
+    print!("{}", aix_bench::experiments::serve::run(&options));
+}

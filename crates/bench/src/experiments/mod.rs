@@ -14,6 +14,7 @@ pub mod fig8b;
 pub mod fig8c;
 pub mod headline;
 pub mod schedule;
+pub mod serve;
 pub mod sim;
 
 use aix_aging::{AgingScenario, Lifetime};

@@ -1,0 +1,131 @@
+//! Cooperative cancellation with optional deadlines.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle shared between a
+//! campaign's owner (a CLI invocation, an `aix serve` request) and the
+//! engine's workers. The owner cancels it — explicitly or by attaching a
+//! deadline — and the engine observes the token at every job boundary:
+//! jobs not yet started are skipped and reported as quarantined failures,
+//! the per-attempt watchdog clamps its wall-clock limit to the remaining
+//! budget, and retry backoff never sleeps past the deadline. The campaign
+//! then returns a *partial* result through the normal
+//! [`CampaignStatus`](crate::CampaignStatus) machinery instead of hanging.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cloneable cancellation handle; see the module docs.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token with no deadline; cancels only via [`cancel`](Self::cancel).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_deadline(None)
+    }
+
+    /// A token that reports cancelled once `deadline` passes.
+    #[must_use]
+    pub fn with_deadline(deadline: Option<Instant>) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline,
+            }),
+        }
+    }
+
+    /// A token whose deadline is `budget` from now.
+    #[must_use]
+    pub fn deadline_in(budget: Duration) -> Self {
+        Self::with_deadline(Some(Instant::now() + budget))
+    }
+
+    /// Cancels every clone of this token, immediately and permanently.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the token was cancelled or its deadline has passed.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::SeqCst) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(deadline) => Instant::now() >= deadline,
+            None => false,
+        }
+    }
+
+    /// Time left until the deadline: `None` without one, zero when the
+    /// deadline has passed or the token was cancelled.
+    #[must_use]
+    pub fn remaining(&self) -> Option<Duration> {
+        if self.inner.cancelled.load(Ordering::SeqCst) {
+            return Some(Duration::ZERO);
+        }
+        self.inner
+            .deadline
+            .map(|deadline| deadline.saturating_duration_since(Instant::now()))
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Tokens compare by identity: two tokens are equal when cancelling one
+/// cancels the other. (This keeps `#[derive(PartialEq)]` on option
+/// structs meaningful without comparing racing time-dependent state.)
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_cancel_reaches_every_clone() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        assert_eq!(token.remaining(), None, "no deadline, no budget");
+        token.cancel();
+        assert!(clone.is_cancelled());
+        assert_eq!(clone.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn deadline_expires_and_budget_shrinks() {
+        let token = CancelToken::deadline_in(Duration::from_millis(30));
+        assert!(!token.is_cancelled());
+        let budget = token.remaining().expect("deadline set");
+        assert!(budget <= Duration::from_millis(30));
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(token.is_cancelled());
+        assert_eq!(token.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn equality_is_identity() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_ne!(a, CancelToken::new());
+    }
+}

@@ -68,6 +68,7 @@
 //! ```
 
 use crate::fsutil::write_atomic;
+use crate::cancel::CancelToken;
 use crate::guard::{JobError, JobGuard};
 use crate::journal::RunJournal;
 use crate::library::{parse_scenario, scenario_token};
@@ -112,11 +113,18 @@ pub struct EngineOptions {
     /// Retry budget for *transient* job failures (I/O errors, timeouts).
     /// Panics and structural errors never retry.
     pub retries: usize,
-    /// Base of the exponential retry backoff, in milliseconds.
+    /// Base of the decorrelated-jitter retry backoff, in milliseconds.
     pub backoff_ms: u64,
+    /// Upper bound on any single backoff sleep, in milliseconds; `0`
+    /// leaves the backoff uncapped.
+    pub backoff_cap_ms: u64,
     /// Deterministic fault-injection plan evaluated at synthesis, STA and
     /// cache sites; `None` injects nothing.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Cooperative cancellation observed at every job boundary: a
+    /// cancelled or past-deadline token quarantines the remaining jobs and
+    /// the campaign returns partial results instead of running on.
+    pub cancel: Option<CancelToken>,
 }
 
 impl EngineOptions {
@@ -135,7 +143,9 @@ impl EngineOptions {
             job_timeout: None,
             retries: 0,
             backoff_ms: 0,
+            backoff_cap_ms: 0,
             faults: None,
+            cancel: None,
         }
     }
 
@@ -152,7 +162,9 @@ impl EngineOptions {
             job_timeout: None,
             retries: 0,
             backoff_ms: 25,
+            backoff_cap_ms: 10_000,
             faults: None,
+            cancel: None,
         }
     }
 
@@ -183,6 +195,11 @@ impl EngineOptions {
         if let Ok(value) = std::env::var("AIX_BACKOFF_MS") {
             if let Ok(backoff) = parse_env_count("AIX_BACKOFF_MS", &value) {
                 options.backoff_ms = backoff as u64;
+            }
+        }
+        if let Ok(value) = std::env::var("AIX_BACKOFF_CAP_MS") {
+            if let Ok(cap) = parse_env_count("AIX_BACKOFF_CAP_MS", &value) {
+                options.backoff_cap_ms = cap as u64;
             }
         }
         if let Ok(value) = std::env::var("AIX_FAULT") {
@@ -217,6 +234,9 @@ impl EngineOptions {
         if let Ok(value) = std::env::var("AIX_BACKOFF_MS") {
             options.backoff_ms = parse_env_count("AIX_BACKOFF_MS", &value)? as u64;
         }
+        if let Ok(value) = std::env::var("AIX_BACKOFF_CAP_MS") {
+            options.backoff_cap_ms = parse_env_count("AIX_BACKOFF_CAP_MS", &value)? as u64;
+        }
         if let Ok(value) = std::env::var("AIX_FAULT") {
             options.faults = Some(parse_env_faults("AIX_FAULT", &value)?);
         }
@@ -241,8 +261,8 @@ impl EngineOptions {
 }
 
 /// What [`FaultPlan`] values are expected to look like, for diagnostics.
-pub const FAULT_GRAMMAR: &str =
-    "`mode[:p=F,seed=N,stage=synth|sta|cache,ms=N]` specs (mode panic|io|delay), `;`-separated";
+pub const FAULT_GRAMMAR: &str = "`mode[:p=F,seed=N,stage=synth|sta|cache|serve,ms=N]` specs \
+     (mode panic|io|delay|shortwrite|enospc), `;`-separated";
 
 /// Parses a worker-count value (`AIX_JOBS` / `--jobs`): a positive
 /// integer.
@@ -823,7 +843,9 @@ impl CharacterizationEngine {
             timeout: self.options.job_timeout,
             retries: self.options.retries,
             backoff_ms: self.options.backoff_ms,
+            backoff_cap_ms: self.options.backoff_cap_ms,
             faults: self.options.faults.clone(),
+            cancel: self.options.cancel.clone(),
         }
     }
 

@@ -1,6 +1,7 @@
 //! Crash-safe filesystem helpers shared by the characterization cache, the
-//! run journal and the benchmark log.
+//! run journal, the serve request journal and the benchmark log.
 
+use aix_faults::{FaultPlan, FaultStage, WriteFault};
 use std::io;
 use std::path::Path;
 
@@ -8,11 +9,57 @@ use std::path::Path;
 /// same directory (created if absent) which is then renamed over the
 /// target, so a killed or concurrent run can never leave a truncated file
 /// behind — readers observe either the old contents or the new ones.
-pub(crate) fn write_atomic(path: &Path, text: &str) -> io::Result<()> {
+///
+/// Injected `shortwrite`/`enospc` faults from the process-wide `AIX_FAULT`
+/// plan (stage `cache`, the persistence path) are emulated faithfully
+/// here: a short write persists a prefix of the *temp* file and fails
+/// before the rename, an ENOSPC fails before writing anything. Either
+/// way the previous contents of `path` stay intact.
+///
+/// # Errors
+///
+/// Returns I/O errors from the filesystem, or the injected fault.
+pub fn write_atomic(path: &Path, text: &str) -> io::Result<()> {
+    write_atomic_under(path, text, aix_faults::env_plan(), FaultStage::Cache)
+}
+
+/// [`write_atomic`] against an explicit fault plan and stage, for callers
+/// that carry their own plan (the engine's `--fault` flag, the serve
+/// daemon's `serve`-stage writes) and for tests.
+///
+/// # Errors
+///
+/// Returns I/O errors from the filesystem, or the injected fault.
+pub fn write_atomic_under(
+    path: &Path,
+    text: &str,
+    plan: Option<&FaultPlan>,
+    stage: FaultStage,
+) -> io::Result<()> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    if let Some(plan) = plan {
+        let site = path.file_name().and_then(|n| n.to_str()).unwrap_or("write");
+        match plan.write_fault(stage, site, 1) {
+            Some(WriteFault::Enospc) => {
+                return Err(io::Error::other(format!(
+                    "injected fault: no space left writing `{site}`"
+                )));
+            }
+            Some(WriteFault::Short) => {
+                // A torn write: only a prefix of the payload reaches the
+                // temp file and the rename never happens — readers of
+                // `path` keep seeing the previous complete contents.
+                std::fs::write(&tmp, &text.as_bytes()[..text.len() / 2])?;
+                return Err(io::Error::other(format!(
+                    "injected fault: short write writing `{site}`"
+                )));
+            }
+            None => {}
+        }
+    }
     std::fs::write(&tmp, text)?;
     std::fs::rename(&tmp, path)
 }
@@ -35,6 +82,66 @@ mod tests {
             .map(|e| e.unwrap().file_name())
             .collect();
         assert_eq!(siblings.len(), 1, "no temp file left: {siblings:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn short_write_fault_leaves_previous_file_intact() {
+        let dir = std::env::temp_dir().join(format!("aix-fsutil-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("library.txt");
+        let plan: FaultPlan = "shortwrite:p=1,stage=cache".parse().unwrap();
+
+        // First write under the fault: it fails and nothing readable
+        // appears at the target path.
+        let payload = "entry 8 fresh 1.234567\nentry 8 wc:10 2.345678\n";
+        let err = write_atomic_under(&path, payload, Some(&plan), FaultStage::Cache).unwrap_err();
+        assert!(err.to_string().contains("short write"));
+        assert!(!path.exists(), "no torn file visible at the target path");
+
+        // Seed good contents without the fault, then tear a rewrite: the
+        // reader must still observe the complete old contents, even though
+        // the torn temp file holds only a prefix of the new payload.
+        write_atomic_under(&path, "old complete contents\n", None, FaultStage::Cache).unwrap();
+        let update = "new contents that will be torn mid-write\n";
+        let err = write_atomic_under(&path, update, Some(&plan), FaultStage::Cache).unwrap_err();
+        assert!(err.to_string().contains("short write"));
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "old complete contents\n"
+        );
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let torn = std::fs::read_to_string(&tmp).unwrap();
+        assert_eq!(torn, &update[..update.len() / 2], "temp holds a prefix");
+
+        // A fault-free retry recovers cleanly over the torn temp.
+        write_atomic_under(&path, update, None, FaultStage::Cache).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), update);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enospc_fault_fails_before_touching_anything() {
+        let dir = std::env::temp_dir().join(format!("aix-fsutil-enospc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("journal");
+        write_atomic_under(&path, "previous\n", None, FaultStage::Cache).unwrap();
+
+        let plan: FaultPlan = "enospc:p=1".parse().unwrap();
+        let err = write_atomic_under(&path, "next\n", Some(&plan), FaultStage::Cache).unwrap_err();
+        assert!(err.to_string().contains("no space left"));
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "previous\n");
+        let siblings: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(siblings.len(), 1, "no temp file written: {siblings:?}");
+
+        // Stage filters apply: a cache-stage-only plan leaves serve writes
+        // alone.
+        let staged: FaultPlan = "enospc:p=1,stage=cache".parse().unwrap();
+        write_atomic_under(&path, "served\n", Some(&staged), FaultStage::Serve).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "served\n");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,11 +1,13 @@
-//! Per-job fault containment: panic isolation, a wall-clock watchdog and
-//! seeded retry with exponential backoff.
+//! Per-job fault containment: panic isolation, a wall-clock watchdog,
+//! seeded retry with decorrelated-jitter backoff, and cooperative
+//! deadline cancellation.
 //!
 //! Every synthesis and STA job of a campaign runs through [`JobGuard::run`]
 //! so that one misbehaving job — a panic, a hang, a transient I/O failure —
 //! is converted into a structured per-job outcome instead of taking the
 //! whole process (or, through mutex poisoning, every sibling worker) down.
 
+use crate::cancel::CancelToken;
 use crate::AixError;
 use aix_faults::{FaultPlan, FaultStage};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -34,12 +36,19 @@ pub(crate) struct JobGuard {
     /// Extra attempts granted to *transient* failures (I/O errors and
     /// timeouts). Panics and structural errors never retry.
     pub retries: usize,
-    /// Base of the exponential backoff between attempts, in milliseconds;
-    /// `0` retries immediately.
+    /// Base of the decorrelated-jitter backoff between attempts, in
+    /// milliseconds; `0` retries immediately.
     pub backoff_ms: u64,
+    /// Upper bound on any single backoff sleep, in milliseconds; `0`
+    /// leaves the backoff uncapped.
+    pub backoff_cap_ms: u64,
     /// Fault plan injected at this guard's sites, for testing the guard
     /// itself.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Cooperative cancellation: a cancelled or past-deadline token makes
+    /// pending attempts fail fast, clamps the watchdog to the remaining
+    /// budget and cuts backoff sleeps short.
+    pub cancel: Option<CancelToken>,
 }
 
 /// Why a guarded job ultimately failed.
@@ -81,7 +90,16 @@ impl JobGuard {
         F: FnMut() -> W,
     {
         let mut attempt = 0usize;
+        let mut prev_backoff = self.backoff_ms;
         loop {
+            if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                return Err(JobError {
+                    reason: format!("cancelled after {attempt} attempts: deadline exceeded"),
+                    attempts: attempt.max(1),
+                    timed_out: false,
+                    panicked: false,
+                });
+            }
             attempt += 1;
             let work = make();
             let faults = self.faults.clone();
@@ -94,7 +112,17 @@ impl JobGuard {
                 }
                 work()
             };
-            let outcome = match self.timeout {
+            // The watchdog limit is the per-attempt timeout clamped to the
+            // cancellation token's remaining deadline budget, so a request
+            // deadline bounds even its very first attempt.
+            let remaining = self.cancel.as_ref().and_then(CancelToken::remaining);
+            let limit = match (self.timeout, remaining) {
+                (Some(t), Some(r)) => Some(t.min(r)),
+                (Some(t), None) => Some(t),
+                (None, Some(r)) => Some(r),
+                (None, None) => None,
+            };
+            let outcome = match limit {
                 None => match catch_unwind(AssertUnwindSafe(guarded)) {
                     Ok(result) => Attempt::Finished(result),
                     Err(payload) => Attempt::Panicked(panic_message(payload)),
@@ -131,7 +159,7 @@ impl JobGuard {
                     let transient = matches!(error, AixError::Io { .. });
                     if transient && attempt <= self.retries {
                         aix_obs::count!("job_retry", site = site, attempt = attempt, cause = "io");
-                        self.backoff(site, attempt);
+                        self.backoff(site, attempt, &mut prev_backoff);
                         continue;
                     }
                     return Err(JobError {
@@ -149,14 +177,14 @@ impl JobGuard {
                             attempt = attempt,
                             cause = "timeout"
                         );
-                        self.backoff(site, attempt);
+                        self.backoff(site, attempt, &mut prev_backoff);
                         continue;
                     }
                     aix_obs::count!("job_timeout", site = site, attempts = attempt);
                     return Err(JobError {
                         reason: format!(
                             "timed out after {:.3} s",
-                            self.timeout.unwrap_or_default().as_secs_f64()
+                            limit.unwrap_or_default().as_secs_f64()
                         ),
                         attempts: attempt,
                         timed_out: true,
@@ -175,18 +203,47 @@ impl JobGuard {
         }
     }
 
-    /// Sleeps before retry `attempt + 1`: exponential in the attempt number
-    /// with a deterministic per-site jitter, so colliding retries from
-    /// parallel workers spread out the same way on every run.
-    fn backoff(&self, site: &str, attempt: usize) {
+    /// Sleeps before retry `attempt + 1` using decorrelated jitter (see
+    /// [`decorrelated_backoff_ms`]), threading the previous delay through
+    /// `prev`. The sleep never overruns the cancellation deadline.
+    fn backoff(&self, site: &str, attempt: usize, prev: &mut u64) {
         if self.backoff_ms == 0 {
             return;
         }
-        let exponent = (attempt - 1).min(6) as u32;
-        let jitter = site_hash(site, attempt) % self.backoff_ms;
-        let sleep_ms = self.backoff_ms.saturating_mul(1 << exponent) + jitter;
+        let mut sleep_ms =
+            decorrelated_backoff_ms(self.backoff_ms, self.backoff_cap_ms, *prev, site, attempt);
+        *prev = sleep_ms;
+        if let Some(remaining) = self.cancel.as_ref().and_then(CancelToken::remaining) {
+            sleep_ms = sleep_ms.min(u64::try_from(remaining.as_millis()).unwrap_or(u64::MAX));
+        }
         std::thread::sleep(Duration::from_millis(sleep_ms));
     }
+}
+
+/// The delay before the next retry, in milliseconds: *decorrelated jitter*
+/// (`sleep = min(cap, base + unit · (3·prev − base))`, unit ∈ [0, 1)
+/// drawn deterministically from the site hash), so the expected delay
+/// still doubles per attempt but simultaneous retries from coalesced or
+/// colliding clients spread over the whole `[base, 3·prev)` band instead
+/// of stampeding in lockstep at the same exponential instants. A `cap` of
+/// `0` leaves the growth uncapped. Pure: the same
+/// `(base, cap, prev, site, attempt)` always yields the same delay.
+pub(crate) fn decorrelated_backoff_ms(
+    base: u64,
+    cap: u64,
+    prev: u64,
+    site: &str,
+    attempt: usize,
+) -> u64 {
+    if base == 0 {
+        return 0;
+    }
+    let cap = if cap == 0 { u64::MAX } else { cap };
+    let span = prev.saturating_mul(3).saturating_sub(base);
+    // 53 high bits of the FNV hash map to [0, 1) at f64 resolution.
+    let unit = (site_hash(site, attempt) >> 11) as f64 / (1u64 << 53) as f64;
+    let jittered = base.saturating_add((span as f64 * unit) as u64);
+    jittered.min(cap)
 }
 
 fn site_hash(site: &str, attempt: usize) -> u64 {
@@ -206,10 +263,8 @@ mod tests {
 
     fn guard(retries: usize) -> JobGuard {
         JobGuard {
-            timeout: None,
             retries,
-            backoff_ms: 0,
-            faults: None,
+            ..JobGuard::default()
         }
     }
 
@@ -288,9 +343,7 @@ mod tests {
     fn watchdog_quarantines_hung_jobs() {
         let slow = JobGuard {
             timeout: Some(Duration::from_millis(25)),
-            retries: 0,
-            backoff_ms: 0,
-            faults: None,
+            ..JobGuard::default()
         };
         let err = slow
             .run(FaultStage::Sta, "hang", || {
@@ -310,6 +363,94 @@ mod tests {
         assert_eq!(value, 7);
     }
 
+    /// The delay sequence a guard would sleep through for a site, with the
+    /// previous delay threaded exactly as `run` does.
+    fn backoff_sequence(base: u64, cap: u64, site: &str, attempts: usize) -> Vec<u64> {
+        let mut prev = base;
+        (1..=attempts)
+            .map(|attempt| {
+                let delay = decorrelated_backoff_ms(base, cap, prev, site, attempt);
+                prev = delay;
+                delay
+            })
+            .collect()
+    }
+
+    #[test]
+    fn backoff_is_decorrelated_jittered_and_capped() {
+        // Deterministic: the same (site, attempt) history replays the same
+        // delay sequence, so retry timing is pinned by the seedable hash.
+        let first = backoff_sequence(25, 1_000, "synth adder-w16-p7", 8);
+        let second = backoff_sequence(25, 1_000, "synth adder-w16-p7", 8);
+        assert_eq!(first, second);
+
+        // Every delay stays inside [base, cap].
+        assert!(first.iter().all(|&ms| (25..=1_000).contains(&ms)), "{first:?}");
+
+        // The cap actually binds: with unbounded growth the 8th delay of a
+        // tripling-span sequence would exceed 1000 ms for some site.
+        let uncapped = backoff_sequence(25, 0, "synth adder-w16-p7", 8);
+        assert!(uncapped.last().copied().unwrap() >= first.last().copied().unwrap());
+        assert!(
+            (0..50)
+                .any(|i| *backoff_sequence(25, 0, &format!("site-{i}"), 8).last().unwrap() > 1_000),
+            "uncapped sequences must be able to outgrow the cap"
+        );
+
+        // Decorrelation: different sites draw different delay sequences —
+        // coalesced clients retrying the same campaign do not stampede.
+        let other = backoff_sequence(25, 1_000, "synth mult-w8-p3", 8);
+        assert_ne!(first, other);
+
+        // A zero base disables backoff entirely.
+        assert_eq!(decorrelated_backoff_ms(0, 1_000, 0, "x", 1), 0);
+    }
+
+    #[test]
+    fn cancelled_token_fails_jobs_fast_without_running_them() {
+        let token = CancelToken::new();
+        token.cancel();
+        let cancelled = JobGuard {
+            cancel: Some(token),
+            retries: 3,
+            ..JobGuard::default()
+        };
+        let calls = AtomicUsize::new(0);
+        let err = cancelled
+            .run(FaultStage::Synth, "doomed", || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                || Ok(())
+            })
+            .unwrap_err();
+        assert!(err.reason.contains("cancelled"), "{}", err.reason);
+        assert_eq!(err.attempts, 1);
+        assert_eq!(calls.load(Ordering::SeqCst), 0, "work never starts");
+    }
+
+    #[test]
+    fn deadline_clamps_the_watchdog() {
+        // No per-attempt timeout, but a 30 ms deadline: the watchdog picks
+        // up the deadline budget and kills the hung attempt.
+        let deadline = JobGuard {
+            cancel: Some(CancelToken::deadline_in(Duration::from_millis(30))),
+            ..JobGuard::default()
+        };
+        let start = std::time::Instant::now();
+        let err = deadline
+            .run(FaultStage::Sta, "hang", || {
+                || -> Result<(), AixError> {
+                    std::thread::sleep(Duration::from_millis(5_000));
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+        assert!(err.timed_out, "{}", err.reason);
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "deadline bounds the attempt"
+        );
+    }
+
     #[test]
     fn injected_io_fault_clears_on_retry() {
         // p=1 on attempt 1 only is impossible; instead pick a seeded
@@ -324,10 +465,9 @@ mod tests {
             })
             .expect("some site recovers on attempt 2");
         let flaky = JobGuard {
-            timeout: None,
             retries: 1,
-            backoff_ms: 0,
             faults: Some(plan),
+            ..JobGuard::default()
         };
         let (value, attempts) = flaky
             .run(FaultStage::Synth, &site, || || Ok("made it"))

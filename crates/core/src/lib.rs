@@ -47,8 +47,9 @@ mod actual;
 mod characterize;
 mod component;
 mod engine;
+mod cancel;
 mod error;
-mod fsutil;
+pub mod fsutil;
 mod guard;
 mod idct;
 mod journal;
@@ -59,6 +60,7 @@ mod savings;
 mod schedule;
 
 pub use actual::{actual_case_delays, idct_operand_trace, ActualCaseStress, StimulusKind};
+pub use cancel::CancelToken;
 pub use characterize::{
     characterize_component, CharacterizationConfig, CharacterizationEntry,
     CharacterizationScenario, ComponentCharacterization,

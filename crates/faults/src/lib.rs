@@ -13,10 +13,10 @@
 //! ```text
 //! AIX_FAULT = spec (";" spec)*
 //! spec      = mode [":" param ("," param)*]
-//! mode      = "panic" | "io" | "delay"
+//! mode      = "panic" | "io" | "delay" | "shortwrite" | "enospc"
 //! param     = "p=" FLOAT        probability in [0, 1]   (default 1)
 //!           | "seed=" INT       decision seed           (default 0)
-//!           | "stage=" STAGE    synth | sta | cache     (default: all)
+//!           | "stage=" STAGE    synth | sta | cache | serve   (default: all)
 //!           | "ms=" INT         delay duration, ms      (default 10)
 //! ```
 //!
@@ -46,6 +46,11 @@ pub enum FaultMode {
     /// Sleep for the spec's `ms`, modelling a hung or very slow job; pairs
     /// with the engine's per-job timeout watchdog.
     Delay,
+    /// A write that persists only a prefix of its bytes before failing —
+    /// the torn-write shape atomic-rename persistence must mask.
+    ShortWrite,
+    /// A write refused up front, as a full disk (`ENOSPC`) would.
+    Enospc,
 }
 
 impl FaultMode {
@@ -54,8 +59,30 @@ impl FaultMode {
             FaultMode::Panic => "panic",
             FaultMode::Io => "io",
             FaultMode::Delay => "delay",
+            FaultMode::ShortWrite => "shortwrite",
+            FaultMode::Enospc => "enospc",
         }
     }
+
+    /// Whether this mode surfaces as an `std::io::Error` (rather than a
+    /// panic or a stall).
+    fn is_io(self) -> bool {
+        matches!(
+            self,
+            FaultMode::Io | FaultMode::ShortWrite | FaultMode::Enospc
+        )
+    }
+}
+
+/// How an injected fault corrupts one atomic-write site; returned by
+/// [`FaultPlan::write_fault`] for write paths that can emulate the failure
+/// faithfully (persist a prefix, then fail) instead of merely erroring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Persist only a prefix of the payload, then fail the write.
+    Short,
+    /// Fail before writing anything, like a full disk.
+    Enospc,
 }
 
 /// The infrastructure path a fault site belongs to.
@@ -67,6 +94,8 @@ pub enum FaultStage {
     Sta,
     /// The persistent characterization cache (reads and writes).
     Cache,
+    /// The `aix serve` daemon's request-handling path.
+    Serve,
 }
 
 impl FaultStage {
@@ -76,6 +105,7 @@ impl FaultStage {
             FaultStage::Synth => "synth",
             FaultStage::Sta => "sta",
             FaultStage::Cache => "cache",
+            FaultStage::Serve => "serve",
         }
     }
 }
@@ -160,8 +190,8 @@ impl fmt::Display for ParseFaultError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}: expected `mode[:p=F,seed=N,stage=synth|sta|cache,ms=N]` \
-             with mode panic|io|delay, `;`-separated",
+            "{}: expected `mode[:p=F,seed=N,stage=synth|sta|cache|serve,ms=N]` \
+             with mode panic|io|delay|shortwrite|enospc, `;`-separated",
             self.what
         )
     }
@@ -187,6 +217,8 @@ impl FromStr for FaultPlan {
                 "panic" => FaultMode::Panic,
                 "io" => FaultMode::Io,
                 "delay" => FaultMode::Delay,
+                "shortwrite" => FaultMode::ShortWrite,
+                "enospc" => FaultMode::Enospc,
                 other => return Err(ParseFaultError::new(format!("unknown fault mode `{other}`"))),
             };
             let mut spec = FaultSpec {
@@ -226,6 +258,7 @@ impl FromStr for FaultPlan {
                             "synth" => FaultStage::Synth,
                             "sta" => FaultStage::Sta,
                             "cache" => FaultStage::Cache,
+                            "serve" => FaultStage::Serve,
                             other => {
                                 return Err(ParseFaultError::new(format!(
                                     "unknown stage `{other}`"
@@ -304,6 +337,17 @@ impl FaultPlan {
                         "injected fault: I/O error at {stage} site `{site}` (attempt {attempt})"
                     )))
                 }
+                FaultMode::ShortWrite => {
+                    return Err(std::io::Error::other(format!(
+                        "injected fault: short write at {stage} site `{site}` (attempt {attempt})"
+                    )))
+                }
+                FaultMode::Enospc => {
+                    return Err(std::io::Error::other(format!(
+                        "injected fault: no space left at {stage} site `{site}` \
+                         (attempt {attempt})"
+                    )))
+                }
             }
         }
         Ok(())
@@ -311,10 +355,10 @@ impl FaultPlan {
 
     /// Like [`check`](Self::check), for call sites with no error channel
     /// (deep inside synthesis): honours panic and delay specs, ignores
-    /// `io` specs.
+    /// the I/O-flavoured specs.
     pub fn probe(&self, stage: FaultStage, site: &str, attempt: usize) {
         for spec in &self.specs {
-            if spec.mode == FaultMode::Io || !spec.fires(stage, site, attempt) {
+            if spec.mode.is_io() || !spec.fires(stage, site, attempt) {
                 continue;
             }
             match spec.mode {
@@ -322,9 +366,27 @@ impl FaultPlan {
                 FaultMode::Panic => panic!(
                     "injected fault: panic at {stage} site `{site}` (attempt {attempt})"
                 ),
-                FaultMode::Io => unreachable!("filtered above"),
+                FaultMode::Io | FaultMode::ShortWrite | FaultMode::Enospc => {
+                    unreachable!("filtered above")
+                }
             }
         }
+    }
+
+    /// The write corruption, if any, to apply at an atomic-write site:
+    /// the first firing `shortwrite`/`enospc` spec decides. Write paths
+    /// use this to emulate the failure faithfully (persist a prefix of the
+    /// temp file, or refuse up front) rather than merely returning an
+    /// error after a clean write.
+    pub fn write_fault(&self, stage: FaultStage, site: &str, attempt: usize) -> Option<WriteFault> {
+        self.specs.iter().find_map(|spec| {
+            let fault = match spec.mode {
+                FaultMode::ShortWrite => WriteFault::Short,
+                FaultMode::Enospc => WriteFault::Enospc,
+                _ => return None,
+            };
+            spec.fires(stage, site, attempt).then_some(fault)
+        })
     }
 }
 
@@ -464,6 +526,57 @@ mod tests {
         let err = plan.check(FaultStage::Synth, "site", 1).unwrap_err();
         assert!(err.to_string().contains("injected fault"));
         plan.probe(FaultStage::Synth, "site", 1); // must not panic or error
+    }
+
+    #[test]
+    fn write_fault_modes_parse_probe_and_fire() {
+        let plan: FaultPlan = "shortwrite:p=1,stage=cache;enospc:seed=4,stage=serve"
+            .parse()
+            .unwrap();
+        assert_eq!(plan.specs()[0].mode, FaultMode::ShortWrite);
+        assert_eq!(plan.specs()[1].mode, FaultMode::Enospc);
+        assert_eq!(plan.specs()[1].stage, Some(FaultStage::Serve));
+        let again: FaultPlan = plan.to_string().parse().unwrap();
+        assert_eq!(again, plan);
+
+        // write_fault() reports the emulation shape; stage filters apply.
+        assert_eq!(
+            plan.write_fault(FaultStage::Cache, "lib.txt", 1),
+            Some(WriteFault::Short)
+        );
+        assert_eq!(
+            plan.write_fault(FaultStage::Serve, "journal", 1),
+            Some(WriteFault::Enospc)
+        );
+        assert_eq!(plan.write_fault(FaultStage::Synth, "x", 1), None);
+
+        // At guard sites the same specs surface as transient I/O errors,
+        // and probe (no error channel) ignores them.
+        let err = plan.check(FaultStage::Cache, "lib.txt", 1).unwrap_err();
+        assert!(err.to_string().contains("short write"));
+        let err = plan.check(FaultStage::Serve, "journal", 1).unwrap_err();
+        assert!(err.to_string().contains("no space left"));
+        plan.probe(FaultStage::Cache, "lib.txt", 1);
+        plan.probe(FaultStage::Serve, "journal", 1);
+
+        // An io-only plan offers no write emulation.
+        let io: FaultPlan = "io:p=1".parse().unwrap();
+        assert_eq!(io.write_fault(FaultStage::Cache, "x", 1), None);
+    }
+
+    #[test]
+    fn serve_stage_fires_independently_of_batch_stages() {
+        let spec = FaultSpec {
+            mode: FaultMode::Panic,
+            probability: 1.0,
+            seed: 0,
+            stage: Some(FaultStage::Serve),
+            delay_ms: 0,
+        };
+        assert!(spec.fires(FaultStage::Serve, "req", 1));
+        for stage in [FaultStage::Synth, FaultStage::Sta, FaultStage::Cache] {
+            assert!(!spec.fires(stage, "req", 1));
+        }
     }
 
     #[test]

@@ -127,6 +127,24 @@ fn write_json_float(out: &mut impl fmt::Write, v: f64) -> fmt::Result {
     }
 }
 
+/// Renders `fields` as one flat single-line JSON object, keys in order —
+/// the inverse of [`parse_object`]. Shared by the trace writer and the
+/// `aix serve` wire protocol, whose frames are exactly this shape.
+pub fn render_object<K: AsRef<str>>(fields: &[(K, Value)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{");
+    for (index, (key, value)) in fields.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        let _ = write_json_string(&mut out, key.as_ref());
+        out.push(':');
+        let _ = write!(out, "{value}");
+    }
+    out.push('}');
+    out
+}
+
 /// Why a line failed to parse as a flat JSON event object.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {
@@ -333,18 +351,7 @@ mod tests {
     use super::*;
 
     fn render(fields: &[(&str, Value)]) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::from("{");
-        for (i, (k, v)) in fields.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            write_json_string(&mut out, k).unwrap();
-            out.push(':');
-            let _ = write!(out, "{v}");
-        }
-        out.push('}');
-        out
+        render_object(fields)
     }
 
     #[test]

@@ -39,11 +39,12 @@
 mod event;
 mod json;
 mod metrics;
+pub mod names;
 mod span;
 mod summary;
 
 pub use event::{Event, EventError, EventKind, TRACE_SCHEMA};
-pub use json::{parse_object, JsonError, Value};
+pub use json::{parse_object, render_object, JsonError, Value};
 pub use metrics::{Histogram, MetricsSnapshot, HISTOGRAM_BUCKETS};
 pub use span::SpanGuard;
 pub use summary::{StageSummary, SummaryError, TraceSummary};

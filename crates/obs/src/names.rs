@@ -1,0 +1,33 @@
+//! Canonical event-name vocabulary for cross-crate spans and counters.
+//!
+//! Producers (the serve daemon, the engine) and consumers (trace
+//! summaries, tests, dashboards) must agree on event names byte-for-byte
+//! or the trace silently fragments; naming them once here makes the
+//! compiler enforce the agreement. Engine-side names predate this module
+//! and stay as string literals for trace compatibility — new subsystems
+//! add their vocabulary here.
+
+/// `aix serve` daemon events: one request span per accepted request, plus
+/// lifecycle counters matched by `aix serve status` statistics.
+pub mod serve {
+    /// Span over one request's full handling, from dequeue to response.
+    pub const SPAN_REQUEST: &str = "serve_request";
+    /// Span over replaying one journaled request at daemon startup.
+    pub const SPAN_REPLAY: &str = "serve_replay";
+    /// Counter: a request was accepted into the queue.
+    pub const ACCEPTED: &str = "serve_accepted";
+    /// Counter: a request was shed with an `overloaded` response because
+    /// the bounded queue was full.
+    pub const SHED: &str = "serve_shed";
+    /// Counter: a request joined an identical in-flight execution instead
+    /// of enqueueing its own.
+    pub const COALESCED: &str = "serve_coalesce_hit";
+    /// Counter: a request hit its deadline before or during execution.
+    pub const DEADLINE: &str = "serve_deadline_exceeded";
+    /// Counter: a request ran to completion (any terminal status).
+    pub const COMPLETED: &str = "serve_completed";
+    /// Counter: the daemon began a graceful drain.
+    pub const DRAIN: &str = "serve_drain";
+    /// Gauge: current depth of the bounded request queue.
+    pub const QUEUE_DEPTH: &str = "serve_queue_depth";
+}

@@ -1,0 +1,72 @@
+//! A minimal blocking client for the `aix serve` protocol.
+//!
+//! One [`Client`] wraps one TCP connection; [`Client::call`] writes a
+//! request frame and blocks for the matching response frame. The CLI's
+//! `aix serve status` / `aix serve shutdown` subcommands, the `exp-serve`
+//! load generator, and the integration tests all speak through this.
+
+use crate::protocol::{read_frame, write_frame, Response};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A connected client.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:4617`).
+    ///
+    /// # Errors
+    ///
+    /// Returns connection errors.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        Ok(Client {
+            stream: TcpStream::connect(addr.trim())?,
+        })
+    }
+
+    /// Bounds how long [`call`](Self::call) waits for a response frame;
+    /// `None` (the default) waits indefinitely.
+    ///
+    /// # Errors
+    ///
+    /// Returns socket errors.
+    pub fn set_response_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends one request payload (a flat JSON object) and awaits the
+    /// response.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors, a connection closed before the response (e.g.
+    /// the daemon crashed mid-request), or a malformed response frame.
+    pub fn call(&mut self, payload: &str) -> std::io::Result<Response> {
+        write_frame(&mut self.stream, payload)?;
+        let frame = read_frame(&mut self.stream)?.ok_or_else(|| {
+            std::io::Error::other("connection closed before the response arrived")
+        })?;
+        Response::from_wire(&frame)
+            .map_err(|e| std::io::Error::other(format!("malformed response frame: {e}")))
+    }
+
+    /// `{"op":"status"}` convenience.
+    ///
+    /// # Errors
+    ///
+    /// See [`call`](Self::call).
+    pub fn status(&mut self) -> std::io::Result<Response> {
+        self.call("{\"op\":\"status\"}")
+    }
+
+    /// `{"op":"shutdown"}` convenience: asks the daemon to drain.
+    ///
+    /// # Errors
+    ///
+    /// See [`call`](Self::call).
+    pub fn shutdown(&mut self) -> std::io::Result<Response> {
+        self.call("{\"op\":\"shutdown\"}")
+    }
+}

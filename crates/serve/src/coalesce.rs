@@ -1,0 +1,180 @@
+//! Request coalescing by campaign fingerprint.
+//!
+//! Characterization campaigns are deterministic and expensive, so when two
+//! clients ask for the same campaign (identical
+//! [`fingerprint`](crate::protocol::WorkRequest::fingerprint) — the
+//! deadline is deliberately excluded) the daemon runs it once: the first
+//! request becomes the *lead* and is enqueued; later identical requests
+//! *join* the in-flight execution and receive the same response when it
+//! completes. Completed `ok` responses additionally enter a bounded result
+//! cache, which both serves immediate repeats and is how a restarted
+//! daemon answers a re-sent request byte-identically after crash replay.
+//!
+//! Admission (cache lookup → join → enqueue) happens under one lock, so a
+//! lead/join race cannot run the same campaign twice, and a request is
+//! never both shed and registered.
+
+use crate::queue::PushError;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Mutex;
+
+/// How many completed responses the result cache retains (FIFO eviction).
+const RESULT_CACHE_CAP: usize = 512;
+
+/// The outcome of admitting one work request.
+pub enum Admission {
+    /// Served from the completed-result cache; here is the response wire.
+    Cached(String),
+    /// Joined an in-flight identical execution; await the response.
+    Joined(Receiver<String>),
+    /// Admitted as the lead: the job was enqueued; await the response.
+    Lead(Receiver<String>),
+    /// The queue is full; shed with `overloaded`.
+    Shed,
+    /// The queue is closed; the daemon is draining.
+    Closed,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Fingerprint → the response senders of the lead and every joiner.
+    in_flight: HashMap<String, Vec<Sender<String>>>,
+    /// Completed `ok` responses, oldest first.
+    cache: VecDeque<(String, String)>,
+}
+
+/// The coalescing front of the request queue.
+#[derive(Default)]
+pub struct Coalescer {
+    inner: Mutex<Inner>,
+}
+
+impl Coalescer {
+    /// A coalescer with an empty cache and nothing in flight.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Admits one request atomically: result-cache hit, join of an
+    /// identical in-flight execution, or — via `enqueue`, called under the
+    /// admission lock — a fresh lead. `enqueue` must push the job onto the
+    /// bounded queue and is only called when this request is the lead.
+    pub fn admit(
+        &self,
+        fingerprint: &str,
+        enqueue: impl FnOnce() -> Result<usize, PushError>,
+    ) -> Admission {
+        let mut inner = self.inner.lock().expect("coalescer lock poisoned");
+        if let Some((_, wire)) = inner.cache.iter().find(|(f, _)| f == fingerprint) {
+            return Admission::Cached(wire.clone());
+        }
+        let (sender, receiver) = channel();
+        if let Some(waiters) = inner.in_flight.get_mut(fingerprint) {
+            waiters.push(sender);
+            return Admission::Joined(receiver);
+        }
+        match enqueue() {
+            Ok(_) => {
+                inner.in_flight.insert(fingerprint.to_owned(), vec![sender]);
+                Admission::Lead(receiver)
+            }
+            Err(PushError::Full) => Admission::Shed,
+            Err(PushError::Closed) => Admission::Closed,
+        }
+    }
+
+    /// Completes an in-flight execution: broadcasts `wire` to the lead and
+    /// every joiner, and caches it when `cacheable` (terminal `ok`
+    /// responses only — a deadline or fault response must not poison
+    /// later identical requests). Returns how many waiters were notified.
+    pub fn complete(&self, fingerprint: &str, wire: &str, cacheable: bool) -> usize {
+        let mut inner = self.inner.lock().expect("coalescer lock poisoned");
+        let waiters = inner.in_flight.remove(fingerprint).unwrap_or_default();
+        if cacheable {
+            inner.cache.retain(|(f, _)| f != fingerprint);
+            if inner.cache.len() >= RESULT_CACHE_CAP {
+                inner.cache.pop_front();
+            }
+            inner
+                .cache
+                .push_back((fingerprint.to_owned(), wire.to_owned()));
+        }
+        drop(inner);
+        // A waiter whose connection already gave up (deadline fired on its
+        // side) has dropped its receiver; that send simply misses.
+        waiters
+            .iter()
+            .filter(|sender| sender.send(wire.to_owned()).is_ok())
+            .count()
+    }
+
+    /// Seeds the result cache directly (crash-replay path: the journaled
+    /// request was re-executed at startup with no connection waiting).
+    pub fn seed_cache(&self, fingerprint: &str, wire: &str) {
+        self.complete(fingerprint, wire, true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enqueue_ok() -> Result<usize, PushError> {
+        Ok(1)
+    }
+
+    #[test]
+    fn lead_then_joiners_share_one_execution() {
+        let coalescer = Coalescer::new();
+        let lead = coalescer.admit("fp", enqueue_ok);
+        let Admission::Lead(lead_rx) = lead else {
+            panic!("first admission must lead");
+        };
+        let joined = coalescer.admit("fp", || panic!("joiner must not enqueue"));
+        let Admission::Joined(join_rx) = joined else {
+            panic!("identical admission must join");
+        };
+        assert_eq!(coalescer.complete("fp", "{\"status\":\"ok\"}", true), 2);
+        assert_eq!(lead_rx.recv().unwrap(), "{\"status\":\"ok\"}");
+        assert_eq!(join_rx.recv().unwrap(), "{\"status\":\"ok\"}");
+
+        // After completion the cache answers without any execution.
+        match coalescer.admit("fp", || panic!("cached admission must not enqueue")) {
+            Admission::Cached(wire) => assert_eq!(wire, "{\"status\":\"ok\"}"),
+            _ => panic!("completed fingerprint must be served from cache"),
+        }
+    }
+
+    #[test]
+    fn shed_and_closed_register_nothing() {
+        let coalescer = Coalescer::new();
+        assert!(matches!(
+            coalescer.admit("fp", || Err(PushError::Full)),
+            Admission::Shed
+        ));
+        assert!(matches!(
+            coalescer.admit("fp", || Err(PushError::Closed)),
+            Admission::Closed
+        ));
+        // The failed admissions left no in-flight entry: the next attempt
+        // leads again rather than joining a ghost.
+        assert!(matches!(coalescer.admit("fp", enqueue_ok), Admission::Lead(_)));
+    }
+
+    #[test]
+    fn non_ok_responses_are_broadcast_but_never_cached() {
+        let coalescer = Coalescer::new();
+        let Admission::Lead(rx) = coalescer.admit("fp", enqueue_ok) else {
+            panic!("lead expected");
+        };
+        coalescer.complete("fp", "{\"status\":\"deadline\"}", false);
+        assert_eq!(rx.recv().unwrap(), "{\"status\":\"deadline\"}");
+        assert!(
+            matches!(coalescer.admit("fp", enqueue_ok), Admission::Lead(_)),
+            "a deadline response must not be replayed to later requests"
+        );
+    }
+}

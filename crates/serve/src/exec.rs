@@ -1,0 +1,237 @@
+//! Request execution: one work request in, one terminal response out.
+//!
+//! The executor wraps the fault-tolerant characterization engine the
+//! batch CLI uses, with two daemon-specific guarantees layered on top:
+//!
+//! - **Panic isolation.** Everything — the `stage=serve` fault probe and
+//!   the campaign itself — runs under `catch_unwind`, so a panic becomes
+//!   an `error` response instead of a dead worker. The one deliberate
+//!   exception is `--crash-on-panic`, which turns a *serve-stage injected*
+//!   panic into `exit(101)`: the crash-recovery tests use it to kill the
+//!   daemon at a deterministic point with the request journal pending.
+//! - **Deadline propagation.** The request's [`CancelToken`] is installed
+//!   as the engine's (and the verify campaign's) cancellation token, so a
+//!   past-deadline request quarantines its remaining jobs and comes back
+//!   as a `deadline` response carrying whatever partial results exist.
+
+use crate::protocol::{Op, Response, Status, WorkRequest};
+use aix_aging::AgingModel;
+use aix_cells::Library;
+use aix_core::{panic_message, CampaignStatus, CancelToken, CharacterizationEngine, EngineOptions};
+use aix_faults::FaultStage;
+use aix_verify::{verify_library, VerifyConfig};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// The shared execution context: cell library, aging model, and the base
+/// engine options each request's engine is cloned from.
+pub struct Executor {
+    cells: Arc<Library>,
+    model: AgingModel,
+    options: EngineOptions,
+    crash_on_panic: bool,
+}
+
+impl Executor {
+    /// An executor over the standard cells and calibrated aging model.
+    #[must_use]
+    pub fn new(options: EngineOptions, crash_on_panic: bool) -> Self {
+        Executor {
+            cells: Arc::new(Library::nangate45_like()),
+            model: AgingModel::calibrated(),
+            options,
+            crash_on_panic,
+        }
+    }
+
+    /// The base engine options (tests inspect the configured cache dirs).
+    #[must_use]
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// Runs one request to a terminal response. `probe_faults` is false on
+    /// the crash-replay path: the request was already admitted once, so
+    /// recovery must not re-trip the admission-time injected fault (which
+    /// under `--crash-on-panic` would crash-loop the daemon).
+    pub fn run(&self, work: &WorkRequest, token: &CancelToken, probe_faults: bool) -> Response {
+        if probe_faults {
+            if let Some(fault) = self.probe(work) {
+                return fault;
+            }
+        }
+        match catch_unwind(AssertUnwindSafe(|| self.execute(work, token))) {
+            Ok(response) => response,
+            Err(payload) => Response::new(Status::Error)
+                .with("error", format!("request panicked: {}", panic_message(payload))),
+        }
+    }
+
+    /// Evaluates the `stage=serve` fault plan for this request; the site
+    /// is the campaign fingerprint, so plans can target one campaign.
+    fn probe(&self, work: &WorkRequest) -> Option<Response> {
+        let plan = self.options.faults.as_ref()?;
+        let fingerprint = work.fingerprint();
+        match catch_unwind(AssertUnwindSafe(|| {
+            plan.check(FaultStage::Serve, &fingerprint, 0)
+        })) {
+            Ok(Ok(())) => None,
+            Ok(Err(io)) => Some(Response::new(Status::Error).with("error", io.to_string())),
+            Err(payload) => {
+                let message = panic_message(payload);
+                if self.crash_on_panic {
+                    eprintln!("aix serve: crashing on injected panic: {message}");
+                    std::process::exit(101);
+                }
+                Some(Response::new(Status::Error).with("error", message))
+            }
+        }
+    }
+
+    fn execute(&self, work: &WorkRequest, token: &CancelToken) -> Response {
+        let mut options = self.options.clone();
+        options.cancel = Some(token.clone());
+        let engine = CharacterizationEngine::new(Arc::clone(&self.cells), options);
+        let campaign = engine.characterize_campaign(std::slice::from_ref(&work.config()));
+        let library = campaign.library();
+
+        if campaign.status() == CampaignStatus::Empty {
+            let status = if token.is_cancelled() {
+                Status::DeadlineExceeded
+            } else {
+                Status::Error
+            };
+            let reason = campaign
+                .failures
+                .first()
+                .map(|f| f.reason.clone())
+                .unwrap_or_else(|| "no jobs planned".to_owned());
+            return Response::new(status)
+                .with("error", format!("campaign produced nothing: {reason}"))
+                .with("failures", campaign.failures.len());
+        }
+
+        // Op-specific work happens before the status is decided: `verify`
+        // observes the token too and can push a complete characterization
+        // into deadline territory.
+        let mut extra: Vec<(String, aix_obs::Value)> = Vec::new();
+        match work.op {
+            Op::Characterize => {}
+            Op::SelectPrecision => {
+                let precision = library
+                    .get(work.kind, work.width)
+                    .and_then(|c| c.required_precision(work.scenario()));
+                match precision {
+                    Some(precision) => {
+                        extra.push(("precision".to_owned(), aix_obs::Value::from(precision)));
+                    }
+                    None => extra.push((
+                        "precision_error".to_owned(),
+                        aix_obs::Value::from(
+                            "no characterized precision meets the fresh constraint",
+                        ),
+                    )),
+                }
+            }
+            Op::Verify => {
+                let config = VerifyConfig {
+                    samples: work.samples.max(1),
+                    seed: work.seed,
+                    cancel: Some(token.clone()),
+                    ..VerifyConfig::default()
+                };
+                match verify_library(&self.cells, &library, &self.model, &config) {
+                    Ok(report) => {
+                        extra.push(("passed".to_owned(), aix_obs::Value::from(report.all_passed())));
+                        extra.push(("report".to_owned(), aix_obs::Value::from(report.render())));
+                        if report.cancelled_entries > 0 {
+                            extra.push((
+                                "verify_skipped".to_owned(),
+                                aix_obs::Value::from(report.cancelled_entries),
+                            ));
+                        }
+                    }
+                    Err(e) => {
+                        return Response::new(Status::Error)
+                            .with("error", format!("verification failed: {e}"))
+                    }
+                }
+            }
+        }
+
+        let status = if token.is_cancelled() {
+            Status::DeadlineExceeded
+        } else if campaign.status() == CampaignStatus::Partial {
+            Status::Partial
+        } else {
+            Status::Ok
+        };
+        Response::new(status)
+            .with("failures", campaign.failures.len())
+            .with("library", library.to_text())
+            .with_fields(extra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{parse_request, Request};
+
+    fn quick_request(op: &str) -> WorkRequest {
+        let payload = format!(
+            "{{\"op\":\"{op}\",\"kind\":\"adder\",\"width\":4,\"quick\":true,\
+             \"samples\":2,\"seed\":7}}"
+        );
+        match parse_request(&payload).unwrap() {
+            Request::Work(work) => *work,
+            _ => panic!("work request expected"),
+        }
+    }
+
+    fn executor(faults: Option<&str>) -> Executor {
+        let mut options = EngineOptions::sequential();
+        options.faults = faults.map(|spec| Arc::new(spec.parse().unwrap()));
+        Executor::new(options, false)
+    }
+
+    #[test]
+    fn characterize_select_and_verify_all_reach_ok() {
+        let executor = executor(None);
+        let token = CancelToken::new();
+        for op in ["characterize", "select-precision", "verify"] {
+            let response = executor.run(&quick_request(op), &token, true);
+            assert_eq!(response.status(), "ok", "{op}: {}", response.to_wire());
+            assert!(
+                response.str_field("library").is_some_and(|l| !l.is_empty()),
+                "{op} must return the library text"
+            );
+        }
+    }
+
+    #[test]
+    fn an_expired_deadline_returns_partial_results_not_a_hang() {
+        let executor = executor(None);
+        let token = CancelToken::with_deadline(Some(std::time::Instant::now()));
+        let response = executor.run(&quick_request("characterize"), &token, true);
+        assert_eq!(response.status(), "deadline", "{}", response.to_wire());
+    }
+
+    #[test]
+    fn serve_stage_injected_panic_degrades_to_an_error_response() {
+        let executor = executor(Some("panic:stage=serve"));
+        let token = CancelToken::new();
+        let response = executor.run(&quick_request("characterize"), &token, true);
+        assert_eq!(response.status(), "error");
+        assert!(
+            response
+                .str_field("error")
+                .is_some_and(|e| e.contains("injected fault")),
+            "{}",
+            response.to_wire()
+        );
+        // The replay path skips the probe and completes cleanly.
+        let response = executor.run(&quick_request("characterize"), &token, false);
+        assert_eq!(response.status(), "ok");
+    }
+}

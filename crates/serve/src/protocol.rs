@@ -1,0 +1,563 @@
+//! The `aix serve` wire protocol: length-prefixed flat JSON frames.
+//!
+//! One frame is a 4-byte big-endian length followed by that many bytes of
+//! UTF-8 holding exactly one flat JSON object (the trace event shape —
+//! scalar values only — parsed and rendered by [`aix_obs::parse_object`]
+//! and [`aix_obs::render_object`]). Requests and responses are both one
+//! frame; a connection carries any number of request/response pairs in
+//! order. The frame length is capped so a corrupt or hostile length
+//! prefix cannot make the daemon allocate unbounded memory.
+
+use aix_aging::{AgingScenario, Lifetime};
+use aix_core::{AixError, CharacterizationConfig, ComponentKind};
+use aix_obs::Value;
+use std::io::{Read, Write};
+use std::time::Duration;
+
+/// Hard bound on one frame's payload, in bytes. A full characterization
+/// library for the largest supported widths is far below this.
+pub const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
+
+/// Reads one frame's payload. `Ok(None)` is a clean end-of-stream (the
+/// peer closed between frames).
+///
+/// # Errors
+///
+/// Returns I/O errors, an oversized length prefix, or invalid UTF-8.
+pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<String>> {
+    let mut len = [0u8; 4];
+    match stream.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len);
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::other(format!(
+            "frame length {len} exceeds the {MAX_FRAME_BYTES}-byte bound"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    stream.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| std::io::Error::other("frame payload is not UTF-8"))
+}
+
+/// Writes one frame holding `payload`.
+///
+/// # Errors
+///
+/// Returns I/O errors, or an oversized payload.
+pub fn write_frame(stream: &mut impl Write, payload: &str) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME_BYTES)
+        .ok_or_else(|| std::io::Error::other("frame payload exceeds the length bound"))?;
+    stream.write_all(&len.to_be_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()
+}
+
+/// The *work* operation a request asks for. `status` and `shutdown` are
+/// represented by their own [`Request`] variants — they carry no
+/// parameters and are never queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Characterize one component; the response carries the library text.
+    Characterize,
+    /// Characterize, then report the Eq. 2 precision for a scenario.
+    SelectPrecision,
+    /// Characterize, then Monte-Carlo re-verify the deployed guarantees.
+    Verify,
+}
+
+impl Op {
+    /// The wire token, also used in campaign fingerprints.
+    pub fn token(self) -> &'static str {
+        match self {
+            Op::Characterize => "characterize",
+            Op::SelectPrecision => "select-precision",
+            Op::Verify => "verify",
+        }
+    }
+}
+
+/// One parsed work request (ops `characterize`/`select-precision`/
+/// `verify`). `status`/`shutdown` carry no parameters and are handled
+/// before parsing reaches this struct.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkRequest {
+    /// What to do.
+    pub op: Op,
+    /// Component kind.
+    pub kind: ComponentKind,
+    /// Operand width.
+    pub width: usize,
+    /// Synthesis effort token (`area`/`medium`/`ultra`).
+    pub effort: aix_synth::Effort,
+    /// `true` selects the quick precision/scenario sweep, `false` the full
+    /// paper-default campaign.
+    pub quick: bool,
+    /// Aging years for `select-precision` (also appended to the scenario
+    /// sweep so the requested deployment point is always characterized).
+    pub years: f64,
+    /// Stress profile token for `select-precision`: `worst` or `balanced`.
+    pub stress_worst: bool,
+    /// Monte-Carlo samples for `verify`.
+    pub samples: usize,
+    /// Campaign seed for `verify`.
+    pub seed: u64,
+    /// Per-request deadline; `None` defers to the server default.
+    pub deadline: Option<Duration>,
+}
+
+impl WorkRequest {
+    /// The campaign fingerprint: every field that affects the *result*,
+    /// canonically ordered — and nothing that does not (the deadline), so
+    /// an impatient and a patient client coalesce onto one execution.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "{} kind={} w={} effort={} quick={} years={:.3} stress={} samples={} seed={}",
+            self.op.token(),
+            self.kind,
+            self.width,
+            self.effort.token(),
+            self.quick,
+            self.years,
+            if self.stress_worst { "worst" } else { "balanced" },
+            self.samples,
+            self.seed,
+        )
+    }
+
+    /// The characterization campaign this request needs: the quick or
+    /// paper-default sweep, with the `select-precision` scenario appended
+    /// when it is not already covered.
+    pub fn config(&self) -> CharacterizationConfig {
+        let mut config = if self.quick {
+            CharacterizationConfig::quick(self.kind, self.width)
+        } else {
+            CharacterizationConfig::paper_default(self.kind, self.width)
+        };
+        if self.op == Op::SelectPrecision {
+            let wanted = self.scenario();
+            if !config.scenarios.contains(&wanted) {
+                config.scenarios.push(wanted);
+            }
+        }
+        config
+    }
+
+    /// The aging scenario `select-precision` deploys under.
+    pub fn scenario(&self) -> AgingScenario {
+        let lifetime = Lifetime::try_from_years(self.years).unwrap_or(Lifetime::YEARS_10);
+        if self.stress_worst {
+            AgingScenario::worst_case(lifetime)
+        } else {
+            AgingScenario::balanced(lifetime)
+        }
+    }
+
+    /// Re-renders this request as its canonical wire form (used by the
+    /// request journal, whose replay re-parses it).
+    pub fn to_wire(&self) -> String {
+        let fields: Vec<(&str, Value)> = vec![
+            ("op", Value::from(self.op.token())),
+            ("kind", Value::from(self.kind.label())),
+            ("width", Value::from(self.width)),
+            ("effort", Value::from(self.effort.token())),
+            ("quick", Value::from(self.quick)),
+            ("years", Value::from(self.years)),
+            (
+                "stress",
+                Value::from(if self.stress_worst { "worst" } else { "balanced" }),
+            ),
+            ("samples", Value::from(self.samples)),
+            ("seed", Value::from(self.seed)),
+        ];
+        aix_obs::render_object(&fields)
+    }
+}
+
+/// A request frame, parsed far enough to dispatch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// A queued work request.
+    Work(Box<WorkRequest>),
+    /// `{"op":"status"}`.
+    Status,
+    /// `{"op":"shutdown"}`.
+    Shutdown,
+}
+
+/// The parsed fields of one request frame, with typed accessors that turn
+/// wire mistakes into [`AixError::InvalidOption`] diagnostics naming the
+/// field.
+struct Fields(Vec<(String, Value)>);
+
+impl Fields {
+    fn get(&self, key: &str) -> Option<&Value> {
+        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn str_or<'a>(&'a self, key: &'static str, default: &'a str) -> Result<&'a str, AixError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(Value::Str(s)) => Ok(s),
+            Some(other) => Err(invalid(key, other, "a string")),
+        }
+    }
+
+    fn usize_or(&self, key: &'static str, default: usize) -> Result<usize, AixError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(Value::Int(i)) if *i >= 0 => Ok(*i as usize),
+            Some(other) => Err(invalid(key, other, "a non-negative integer")),
+        }
+    }
+
+    fn u64_or(&self, key: &'static str, default: u64) -> Result<u64, AixError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(Value::Int(i)) if *i >= 0 => Ok(*i as u64),
+            Some(other) => Err(invalid(key, other, "a non-negative integer")),
+        }
+    }
+
+    fn f64_or(&self, key: &'static str, default: f64) -> Result<f64, AixError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(Value::Float(f)) if f.is_finite() => Ok(*f),
+            Some(Value::Int(i)) => Ok(*i as f64),
+            Some(other) => Err(invalid(key, other, "a finite number")),
+        }
+    }
+
+    fn bool_or(&self, key: &'static str, default: bool) -> Result<bool, AixError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(Value::Bool(b)) => Ok(*b),
+            Some(other) => Err(invalid(key, other, "a boolean")),
+        }
+    }
+}
+
+fn invalid(flag: &'static str, value: &Value, expected: &'static str) -> AixError {
+    AixError::InvalidOption {
+        flag,
+        value: format!("{value}"),
+        expected,
+    }
+}
+
+/// Parses one request frame.
+///
+/// # Errors
+///
+/// Returns [`AixError`] diagnostics naming the malformed or missing
+/// field, so clients get actionable errors back.
+pub fn parse_request(payload: &str) -> Result<Request, AixError> {
+    let fields = Fields(aix_obs::parse_object(payload).map_err(|_| AixError::InvalidOption {
+        flag: "request",
+        value: payload.chars().take(80).collect(),
+        expected: "one flat JSON object per frame",
+    })?);
+    let op = match fields.get("op") {
+        Some(Value::Str(op)) => op.as_str(),
+        Some(other) => return Err(invalid("op", other, "an operation name")),
+        None => return Err(AixError::MissingOption { flag: "op" }),
+    };
+    let op = match op {
+        "status" => return Ok(Request::Status),
+        "shutdown" => return Ok(Request::Shutdown),
+        "characterize" => Op::Characterize,
+        "select-precision" => Op::SelectPrecision,
+        "verify" => Op::Verify,
+        other => {
+            return Err(AixError::InvalidOption {
+                flag: "op",
+                value: other.to_owned(),
+                expected: "characterize|select-precision|verify|status|shutdown",
+            })
+        }
+    };
+    let kind: ComponentKind = match fields.get("kind") {
+        Some(Value::Str(kind)) => kind.parse().map_err(|_| AixError::InvalidOption {
+            flag: "kind",
+            value: kind.clone(),
+            expected: "adder|multiplier|mac",
+        })?,
+        Some(other) => return Err(invalid("kind", other, "a component kind")),
+        None => return Err(AixError::MissingOption { flag: "kind" }),
+    };
+    let width = fields.usize_or("width", 0)?;
+    if width == 0 {
+        return Err(AixError::MissingOption { flag: "width" });
+    }
+    let effort = match fields.str_or("effort", "medium")? {
+        "area" => aix_synth::Effort::Area,
+        "medium" => aix_synth::Effort::Medium,
+        "ultra" => aix_synth::Effort::Ultra,
+        other => {
+            return Err(AixError::InvalidOption {
+                flag: "effort",
+                value: other.to_owned(),
+                expected: "area|medium|ultra",
+            })
+        }
+    };
+    let stress_worst = match fields.str_or("stress", "worst")? {
+        "worst" => true,
+        "balanced" => false,
+        other => {
+            return Err(AixError::InvalidOption {
+                flag: "stress",
+                value: other.to_owned(),
+                expected: "worst|balanced",
+            })
+        }
+    };
+    let deadline_ms = fields.u64_or("deadline_ms", 0)?;
+    Ok(Request::Work(Box::new(WorkRequest {
+        op,
+        kind,
+        width,
+        effort,
+        quick: fields.bool_or("quick", true)?,
+        years: fields.f64_or("years", 10.0)?,
+        stress_worst,
+        samples: fields.usize_or("samples", 8)?,
+        seed: fields.u64_or("seed", 42)?,
+        deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+    })))
+}
+
+/// Terminal statuses a response frame can carry; every request ends in
+/// exactly one of these (the zero-hang guarantee).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The campaign completed.
+    Ok,
+    /// The campaign produced usable results but quarantined some jobs.
+    Partial,
+    /// The request's deadline fired; any partial results are included.
+    DeadlineExceeded,
+    /// The bounded queue was full; retry after the hinted delay.
+    Overloaded,
+    /// The daemon is draining and accepts no new work.
+    Draining,
+    /// The request failed outright (malformed, or an unrecoverable error).
+    Error,
+}
+
+impl Status {
+    /// The wire token.
+    pub fn token(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Partial => "partial",
+            Status::DeadlineExceeded => "deadline",
+            Status::Overloaded => "overloaded",
+            Status::Draining => "draining",
+            Status::Error => "error",
+        }
+    }
+}
+
+/// One response frame: a terminal status plus result fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    fields: Vec<(String, Value)>,
+}
+
+impl Response {
+    /// A response with the given status and no extra fields yet.
+    #[must_use]
+    pub fn new(status: Status) -> Self {
+        Response {
+            fields: vec![("status".to_owned(), Value::from(status.token()))],
+        }
+    }
+
+    /// Appends one field (builder-style).
+    #[must_use]
+    pub fn with(mut self, key: &str, value: impl Into<Value>) -> Self {
+        self.fields.push((key.to_owned(), value.into()));
+        self
+    }
+
+    /// Appends a batch of fields (builder-style).
+    #[must_use]
+    pub fn with_fields(mut self, fields: Vec<(String, Value)>) -> Self {
+        self.fields.extend(fields);
+        self
+    }
+
+    /// The wire form: one flat JSON object.
+    #[must_use]
+    pub fn to_wire(&self) -> String {
+        aix_obs::render_object(&self.fields)
+    }
+
+    /// Parses a response frame (the client side).
+    ///
+    /// # Errors
+    ///
+    /// Returns the JSON error for frames that are not flat objects.
+    pub fn from_wire(payload: &str) -> Result<Self, aix_obs::JsonError> {
+        Ok(Response {
+            fields: aix_obs::parse_object(payload)?,
+        })
+    }
+
+    /// The raw fields, in wire order.
+    #[must_use]
+    pub fn fields(&self) -> &[(String, Value)] {
+        &self.fields
+    }
+
+    /// A field's value, if present.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// A string field's value, if present and a string.
+    #[must_use]
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        match self.get(key) {
+            Some(Value::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// An integer field's value, if present and an integer.
+    #[must_use]
+    pub fn int_field(&self, key: &str) -> Option<i64> {
+        match self.get(key) {
+            Some(Value::Int(i)) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The response status token (`ok`, `partial`, `deadline`,
+    /// `overloaded`, `draining`, `error`), or `"missing"`.
+    #[must_use]
+    pub fn status(&self) -> &str {
+        self.str_field("status").unwrap_or("missing")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_and_bound_length() {
+        let mut buffer = Vec::new();
+        write_frame(&mut buffer, "{\"op\":\"status\"}").unwrap();
+        write_frame(&mut buffer, "{}").unwrap();
+        let mut cursor = std::io::Cursor::new(buffer);
+        assert_eq!(
+            read_frame(&mut cursor).unwrap().as_deref(),
+            Some("{\"op\":\"status\"}")
+        );
+        assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some("{}"));
+        assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF");
+
+        // A hostile length prefix is rejected without allocating.
+        let huge = (MAX_FRAME_BYTES + 1).to_be_bytes().to_vec();
+        let mut cursor = std::io::Cursor::new(huge);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn requests_parse_with_defaults_and_diagnose_mistakes() {
+        let request =
+            parse_request("{\"op\":\"characterize\",\"kind\":\"adder\",\"width\":8}").unwrap();
+        let Request::Work(work) = request else {
+            panic!("work request expected");
+        };
+        assert_eq!(work.op, Op::Characterize);
+        assert_eq!(work.kind, ComponentKind::Adder);
+        assert_eq!(work.width, 8);
+        assert!(work.quick, "quick sweep by default");
+        assert_eq!(work.deadline, None);
+
+        assert_eq!(parse_request("{\"op\":\"status\"}").unwrap(), Request::Status);
+        assert_eq!(
+            parse_request("{\"op\":\"shutdown\"}").unwrap(),
+            Request::Shutdown
+        );
+
+        for (bad, named) in [
+            ("{\"op\":\"frobnicate\"}", "frobnicate"),
+            ("{\"op\":\"verify\",\"kind\":\"gizmo\",\"width\":8}", "gizmo"),
+            ("{\"op\":\"verify\",\"kind\":\"adder\"}", "width"),
+            ("{\"kind\":\"adder\",\"width\":8}", "op"),
+            ("not json", "request"),
+            (
+                "{\"op\":\"characterize\",\"kind\":\"adder\",\"width\":8,\"effort\":\"max\"}",
+                "max",
+            ),
+        ] {
+            let err = parse_request(bad).unwrap_err();
+            assert!(
+                err.to_string().contains(named),
+                "`{bad}` must name `{named}`: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_deadline_and_wire_form_reparses() {
+        let base =
+            parse_request("{\"op\":\"verify\",\"kind\":\"mac\",\"width\":8,\"seed\":7}").unwrap();
+        let hurried = parse_request(
+            "{\"op\":\"verify\",\"kind\":\"mac\",\"width\":8,\"seed\":7,\"deadline_ms\":50}",
+        )
+        .unwrap();
+        let (Request::Work(base), Request::Work(hurried)) = (base, hurried) else {
+            panic!("work requests expected");
+        };
+        assert_eq!(base.fingerprint(), hurried.fingerprint());
+        assert_ne!(base.deadline, hurried.deadline);
+
+        // The canonical wire form reparses to an equivalent request
+        // (minus the deadline, which the journal intentionally drops).
+        let Request::Work(replayed) = parse_request(&base.to_wire()).unwrap() else {
+            panic!("work request expected");
+        };
+        assert_eq!(replayed.fingerprint(), base.fingerprint());
+        assert_eq!(*replayed, *base);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let response = Response::new(Status::Overloaded)
+            .with("retry_after_ms", 250u64)
+            .with("queue_depth", 4usize);
+        let wire = response.to_wire();
+        let parsed = Response::from_wire(&wire).unwrap();
+        assert_eq!(parsed.status(), "overloaded");
+        assert_eq!(parsed.int_field("retry_after_ms"), Some(250));
+        assert_eq!(parsed, response);
+    }
+
+    #[test]
+    fn select_precision_config_covers_the_requested_scenario() {
+        let Request::Work(work) = parse_request(
+            "{\"op\":\"select-precision\",\"kind\":\"adder\",\"width\":8,\
+             \"years\":3.0,\"stress\":\"balanced\"}",
+        )
+        .unwrap() else {
+            panic!("work request expected");
+        };
+        let config = work.config();
+        assert!(
+            config.scenarios.contains(&work.scenario()),
+            "requested deployment scenario must be characterized"
+        );
+    }
+}

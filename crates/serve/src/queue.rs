@@ -1,0 +1,145 @@
+//! A bounded multi-producer/multi-consumer job queue with close-to-drain
+//! semantics.
+//!
+//! Producers never block: when the queue is full, [`BoundedQueue::try_push`]
+//! fails immediately and the caller sheds the request with an `overloaded`
+//! response. This is the backpressure half of the daemon's memory bound —
+//! however hard clients hammer it, at most `capacity` campaigns are queued.
+//! Consumers block in [`BoundedQueue::pop`] until work arrives or the queue
+//! is closed *and* empty, which is exactly graceful-drain: close the queue,
+//! let the workers finish what was already accepted, join them.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; shed the request.
+    Full,
+    /// The queue is closed (daemon draining); refuse the request.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded job queue.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The current depth (queued, not yet popped).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// Enqueues without blocking; returns the new depth.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`close`](Self::close).
+    pub fn try_push(&self, item: T) -> Result<usize, PushError> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        drop(inner);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until an item is available (returning it) or the queue is
+    /// closed and empty (returning `None`). Items accepted before `close`
+    /// are always delivered — drain finishes accepted work.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue lock poisoned");
+        }
+    }
+
+    /// Closes the queue: pushes fail from now on, and every blocked or
+    /// future `pop` returns `None` once the backlog is drained.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounded_push_sheds_at_capacity_and_reports_depth() {
+        let queue = BoundedQueue::new(2);
+        assert_eq!(queue.try_push(1), Ok(1));
+        assert_eq!(queue.try_push(2), Ok(2));
+        assert_eq!(queue.try_push(3), Err(PushError::Full));
+        assert_eq!(queue.depth(), 2);
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.try_push(3), Ok(2), "popping frees capacity");
+    }
+
+    #[test]
+    fn close_drains_the_backlog_then_wakes_every_consumer() {
+        let queue = Arc::new(BoundedQueue::new(4));
+        queue.try_push(10).unwrap();
+        queue.try_push(11).unwrap();
+        queue.close();
+        assert_eq!(queue.try_push(12), Err(PushError::Closed));
+        // Accepted work is still delivered, in order, before the `None`.
+        assert_eq!(queue.pop(), Some(10));
+        assert_eq!(queue.pop(), Some(11));
+        assert_eq!(queue.pop(), None);
+
+        // A consumer blocked on an empty queue wakes on close.
+        let queue = Arc::new(BoundedQueue::<u32>::new(1));
+        let waiter = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        queue.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+}

@@ -1,0 +1,135 @@
+//! Daemon lifecycle statistics behind `aix serve status`.
+//!
+//! Counters are lock-free atomics bumped on the hot path; request
+//! latencies go into a bounded sliding window (newest samples overwrite
+//! oldest) from which the status endpoint computes p50/p99 on demand.
+//! The same names also flow into the `aix-obs` trace as counters (see
+//! [`aix_obs::names::serve`]), so a trace summary and a status snapshot
+//! tell one consistent story.
+
+use aix_obs::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How many latency samples the sliding window keeps.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Shared, concurrently-updated daemon statistics.
+#[derive(Default)]
+pub struct ServeStats {
+    /// Requests admitted into the queue (coalesce leads only).
+    pub accepted: AtomicU64,
+    /// Requests shed with an `overloaded` response.
+    pub shed: AtomicU64,
+    /// Requests served by joining an in-flight execution or by the
+    /// completed-result cache instead of enqueueing their own campaign.
+    pub coalesced: AtomicU64,
+    /// Requests that hit their deadline (queued or executing).
+    pub deadline_exceeded: AtomicU64,
+    /// Requests that reached a terminal response from a worker.
+    pub completed: AtomicU64,
+    /// Requests whose terminal response was `error`.
+    pub errors: AtomicU64,
+    latencies_us: Mutex<Vec<u64>>,
+    latency_count: AtomicU64,
+}
+
+impl ServeStats {
+    /// Records one completed request's wall-clock latency.
+    pub fn record_latency(&self, latency: Duration) {
+        let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let slot = self.latency_count.fetch_add(1, Ordering::Relaxed) as usize % LATENCY_WINDOW;
+        let mut window = self.latencies_us.lock().expect("stats lock poisoned");
+        if slot < window.len() {
+            window[slot] = micros;
+        } else {
+            window.push(micros);
+        }
+    }
+
+    /// The `(p50, p99)` request latencies over the current window, in
+    /// milliseconds; zeros before the first completion.
+    #[must_use]
+    pub fn latency_percentiles_ms(&self) -> (f64, f64) {
+        let mut window = self.latencies_us.lock().expect("stats lock poisoned").clone();
+        if window.is_empty() {
+            return (0.0, 0.0);
+        }
+        window.sort_unstable();
+        let at = |q: f64| {
+            let rank = ((window.len() - 1) as f64 * q).round() as usize;
+            window[rank] as f64 / 1000.0
+        };
+        (at(0.50), at(0.99))
+    }
+
+    /// The status-response fields for the current snapshot. `queue_depth`
+    /// and `draining` are owned by the server and passed in.
+    #[must_use]
+    pub fn snapshot_fields(&self, queue_depth: usize, draining: bool) -> Vec<(String, Value)> {
+        let (p50, p99) = self.latency_percentiles_ms();
+        let count = |counter: &AtomicU64| Value::from(counter.load(Ordering::Relaxed) as i64);
+        vec![
+            ("queue_depth".to_owned(), Value::from(queue_depth)),
+            ("draining".to_owned(), Value::from(draining)),
+            ("accepted".to_owned(), count(&self.accepted)),
+            ("shed".to_owned(), count(&self.shed)),
+            ("coalesce_hits".to_owned(), count(&self.coalesced)),
+            (
+                "deadline_exceeded".to_owned(),
+                count(&self.deadline_exceeded),
+            ),
+            ("completed".to_owned(), count(&self.completed)),
+            ("errors".to_owned(), count(&self.errors)),
+            ("p50_ms".to_owned(), Value::Float(p50)),
+            ("p99_ms".to_owned(), Value::Float(p99)),
+        ]
+    }
+
+    /// Bumps a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_track_the_latency_window() {
+        let stats = ServeStats::default();
+        assert_eq!(stats.latency_percentiles_ms(), (0.0, 0.0));
+        for ms in 1..=100u64 {
+            stats.record_latency(Duration::from_millis(ms));
+        }
+        let (p50, p99) = stats.latency_percentiles_ms();
+        assert!((p50 - 50.0).abs() <= 1.5, "p50 near the median: {p50}");
+        assert!((p99 - 99.0).abs() <= 1.5, "p99 near the tail: {p99}");
+        assert!(p99 > p50);
+    }
+
+    #[test]
+    fn snapshot_carries_every_counter() {
+        let stats = ServeStats::default();
+        ServeStats::bump(&stats.accepted);
+        ServeStats::bump(&stats.shed);
+        let fields = stats.snapshot_fields(3, true);
+        let get = |key: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("snapshot must carry `{key}`"))
+        };
+        assert_eq!(get("queue_depth"), Value::Int(3));
+        assert_eq!(get("draining"), Value::Bool(true));
+        assert_eq!(get("accepted"), Value::Int(1));
+        assert_eq!(get("shed"), Value::Int(1));
+        assert_eq!(get("completed"), Value::Int(0));
+        for key in ["coalesce_hits", "deadline_exceeded", "errors", "p50_ms", "p99_ms"] {
+            get(key);
+        }
+    }
+}

@@ -13,8 +13,8 @@ use crate::perturb::{entry_rng, Perturbation};
 use aix_aging::{AgingModel, AgingScenario};
 use aix_cells::Library;
 use aix_core::{
-    AixError, ApproxLibrary, CharacterizationScenario, ComponentCharacterization, ComponentKind,
-    NetlistCache,
+    AixError, ApproxLibrary, CancelToken, CharacterizationScenario, ComponentCharacterization,
+    ComponentKind, NetlistCache,
 };
 use aix_sim::{measure_errors_with, OperandSource, SignedNormalOperands, SimEngine};
 use aix_sta::{analyze, NetDelays};
@@ -43,6 +43,10 @@ pub struct VerifyConfig {
     /// default honors `AIX_SIM_ENGINE` (packed when unset); the CLI's
     /// `--sim-engine` overrides it per run.
     pub sim_engine: SimEngine,
+    /// Cooperative cancellation checked between entries: a cancelled or
+    /// past-deadline token truncates the campaign to the entries already
+    /// verified instead of running on (the report records the cut).
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for VerifyConfig {
@@ -55,6 +59,7 @@ impl Default for VerifyConfig {
             sim_vectors: 128,
             max_degrade_steps: 8,
             sim_engine: SimEngine::from_env_or_default(),
+            cancel: None,
         }
     }
 }
@@ -167,6 +172,10 @@ pub struct CampaignReport {
     pub margin_target_ps: f64,
     /// Per-entry verdicts, in library order.
     pub entries: Vec<EntryVerdict>,
+    /// Entries skipped because the campaign's cancellation token fired
+    /// (deadline exceeded) before they were reached; `0` for a campaign
+    /// that ran to completion.
+    pub cancelled_entries: usize,
 }
 
 impl CampaignReport {
@@ -225,13 +234,21 @@ impl CampaignReport {
             out.push('\n');
         }
         let failed = self.entries.iter().filter(|e| !e.passed).count();
-        let _ = writeln!(
+        let _ = write!(
             out,
             "{} entries verified, {} passed, {} failed",
             self.entries.len(),
             self.entries.len() - failed,
             failed
         );
+        if self.cancelled_entries > 0 {
+            let _ = write!(
+                out,
+                " ({} skipped: campaign cancelled before completion)",
+                self.cancelled_entries
+            );
+        }
+        out.push('\n');
         out
     }
 }
@@ -451,41 +468,52 @@ pub fn verify_library(
     // is synthesized once, however many scenarios reference it.
     let netlists = NetlistCache::new();
     let campaign_span = aix_obs::span!("verify_campaign", components = library.iter().count());
+    let worklist: Vec<(&ComponentCharacterization, CharacterizationScenario)> = library
+        .iter()
+        .flat_map(|c| aged_scenarios(c).into_iter().map(move |s| (c, s)))
+        .collect();
     let mut entries = Vec::new();
-    for characterization in library.iter() {
-        for scenario in aged_scenarios(characterization) {
-            let entry_site = format!(
-                "{}-w{}@{scenario}",
+    let mut cancelled_entries = 0usize;
+    for (index, (characterization, scenario)) in worklist.iter().enumerate() {
+        // The deadline is observed between entries: verified verdicts are
+        // kept, the rest of the campaign is cut and reported as skipped.
+        if config.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            cancelled_entries = worklist.len() - index;
+            aix_obs::count!("verify_cancelled", skipped = cancelled_entries);
+            break;
+        }
+        let scenario = *scenario;
+        let entry_site = format!(
+            "{}-w{}@{scenario}",
+            characterization.kind(),
+            characterization.width()
+        );
+        let entry_span = aix_obs::span!("verify_entry", entry = &entry_site);
+        let verdict = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            verify_deployment_cached(
+                cells,
+                model,
+                characterization,
+                scenario,
+                config,
+                &netlists,
+            )
+        }))
+        .map_err(|payload| AixError::JobFailed {
+            job: format!(
+                "{} w{} @{scenario}",
                 characterization.kind(),
                 characterization.width()
-            );
-            let entry_span = aix_obs::span!("verify_entry", entry = &entry_site);
-            let verdict = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                verify_deployment_cached(
-                    cells,
-                    model,
-                    characterization,
-                    scenario,
-                    config,
-                    &netlists,
-                )
-            }))
-            .map_err(|payload| AixError::JobFailed {
-                job: format!(
-                    "{} w{} @{scenario}",
-                    characterization.kind(),
-                    characterization.width()
-                ),
-                attempts: 1,
-                reason: format!("panicked: {}", aix_core::panic_message(payload)),
-            })??;
-            entry_span.close();
-            aix_obs::count!(
-                if verdict.passed { "verify_pass" } else { "verify_fail" },
-                entry = &entry_site,
-            );
-            entries.push(verdict);
-        }
+            ),
+            attempts: 1,
+            reason: format!("panicked: {}", aix_core::panic_message(payload)),
+        })??;
+        entry_span.close();
+        aix_obs::count!(
+            if verdict.passed { "verify_pass" } else { "verify_fail" },
+            entry = &entry_site,
+        );
+        entries.push(verdict);
     }
     campaign_span.close();
     Ok(CampaignReport {
@@ -494,6 +522,7 @@ pub fn verify_library(
         perturbation: config.perturbation,
         margin_target_ps: config.margin_target_ps,
         entries,
+        cancelled_entries,
     })
 }
 
@@ -594,6 +623,33 @@ mod tests {
         )
         .unwrap();
         assert_ne!(a.render(), other.render());
+    }
+
+    #[test]
+    fn cancelled_campaign_truncates_and_reports_the_cut() {
+        let cells = cells();
+        let library = quick_library(&cells);
+        let token = CancelToken::new();
+        token.cancel();
+        let config = VerifyConfig {
+            cancel: Some(token),
+            ..VerifyConfig::nominal()
+        };
+        let report =
+            verify_library(&cells, &library, &AgingModel::calibrated(), &config).unwrap();
+        assert!(report.entries.is_empty(), "no entry runs after cancel");
+        assert!(report.cancelled_entries > 0);
+        assert!(report.render().contains("cancelled"), "{}", report.render());
+
+        // An un-cancelled token leaves the campaign untouched.
+        let live = VerifyConfig {
+            cancel: Some(CancelToken::new()),
+            ..VerifyConfig::nominal()
+        };
+        let full =
+            verify_library(&cells, &library, &AgingModel::calibrated(), &live).unwrap();
+        assert_eq!(full.cancelled_entries, 0);
+        assert!(!full.entries.is_empty());
     }
 
     #[test]

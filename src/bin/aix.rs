@@ -11,6 +11,8 @@
 //! aix error-rate --kind adder --width 32 [--years 10] [--vectors 4000]
 //! aix quality --truncation 9 [--width 176 --height 144]
 //! aix export [--out-dir out]
+//! aix serve [--addr 127.0.0.1:4617] [--workers 2] [--queue-cap 8]
+//! aix serve status | shutdown [--addr HOST:PORT | --addr-file FILE]
 //! aix help
 //! ```
 
@@ -25,6 +27,7 @@ use aix::core::{
 use aix::dct::DatapathPrecision;
 use aix::faults::FaultPlan;
 use aix::netlist::{to_dot, to_verilog};
+use aix::serve::{Client, Server, ServerConfig};
 use aix::sim::{measure_errors, OperandSource, SignedNormalOperands, SimEngine};
 use aix::sta::{analyze, to_sdf, NetDelays};
 use aix::synth::Effort;
@@ -40,13 +43,22 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     let Some(command) = args.next() else {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    // `trace` takes a positional action (`summarize`) before its flags.
-    let action = if command == "trace" { args.next() } else { None };
+    // `trace` and `serve` take a positional action (`summarize`,
+    // `status`/`shutdown`) before their flags; bare `aix serve` runs the
+    // daemon.
+    let action = match command.as_str() {
+        "trace" => args.next(),
+        "serve" => match args.peek() {
+            Some(next) if !next.starts_with("--") => args.next(),
+            _ => None,
+        },
+        _ => None,
+    };
     let options = parse_options(args);
     let result = configure_observability(&command, &options)
         .and_then(|_| configure_sim_engine(&options))
@@ -59,6 +71,7 @@ fn main() -> ExitCode {
             "quality" => quality(&options),
             "export" => export(&options),
             "trace" => trace(action.as_deref(), &options),
+            "serve" => serve(action.as_deref(), &options),
             "help" | "--help" | "-h" => {
                 println!("{USAGE}");
                 Ok(ExitCode::SUCCESS)
@@ -200,6 +213,26 @@ commands:
                                   PSNR/SSIM of the test sequences at a datapath precision
   export        [--out-dir DIR]   write Liberty, degradation tables, Verilog,
                                   DOT and SDF artifacts
+  serve         [--addr HOST:PORT] [--addr-file FILE] [--workers N]
+                [--queue-cap N] [--deadline-ms N] [--crash-on-panic]
+                [--jobs N] [--cache DIR] [--journal DIR] [--no-journal]
+                [--fault SPEC]
+                                  run the fault-tolerant characterization
+                                  daemon (default 127.0.0.1:4617; port 0 picks
+                                  a free port, written to --addr-file).
+                                  Requests are length-prefixed JSON frames
+                                  carrying characterize/select-precision/
+                                  verify campaigns with optional per-request
+                                  deadlines; identical in-flight campaigns
+                                  coalesce, overload is shed with a
+                                  retry-after hint, accepted requests are
+                                  journaled for crash recovery, and SIGTERM
+                                  drains gracefully
+  serve status  [--addr HOST:PORT | --addr-file FILE]
+                                  print a running daemon's queue depth, shed/
+                                  coalesce counters and p50/p99 latencies
+  serve shutdown [--addr HOST:PORT | --addr-file FILE]
+                                  ask a running daemon to drain and exit 0
   trace         summarize [--file FILE] [--strict] [--no-record]
                                   render the per-stage latency/counter table of
                                   a recorded JSONL trace (newest under
@@ -376,6 +409,7 @@ fn parse_verify_config(options: &HashMap<String, String>) -> Result<VerifyConfig
         // `configure_sim_engine` already folded --sim-engine into the
         // environment, which the default reflects.
         sim_engine: defaults.sim_engine,
+        cancel: None,
     })
 }
 
@@ -399,8 +433,9 @@ fn parse_timeout(flag: &'static str, value: &str) -> Result<Option<Duration>, Ai
 /// `--cache DIR`/`--no-cache` (`AIX_CACHE`), `--journal DIR`/
 /// `--no-journal` (`AIX_JOURNAL`), `--resume`, `--job-timeout SECS`
 /// (`AIX_JOB_TIMEOUT`), `--retries N` (`AIX_RETRIES`), `--backoff-ms N`
-/// (`AIX_BACKOFF_MS`) and `--fault SPEC` (`AIX_FAULT`). A malformed
-/// environment value is rejected with the same diagnostic as its flag.
+/// (`AIX_BACKOFF_MS`), `--backoff-cap-ms N` (`AIX_BACKOFF_CAP_MS`) and
+/// `--fault SPEC` (`AIX_FAULT`). A malformed environment value is
+/// rejected with the same diagnostic as its flag.
 fn parse_engine_options(options: &HashMap<String, String>) -> Result<EngineOptions, AixError> {
     let mut engine = EngineOptions::from_env_strict()?;
     if let Some(value) = get(options, "--jobs") {
@@ -432,6 +467,12 @@ fn parse_engine_options(options: &HashMap<String, String>) -> Result<EngineOptio
         "--backoff-ms",
         engine.backoff_ms,
         "a backoff in milliseconds",
+    )?;
+    engine.backoff_cap_ms = parse_or(
+        options,
+        "--backoff-cap-ms",
+        engine.backoff_cap_ms,
+        "a backoff cap in milliseconds (0 = uncapped)",
     )?;
     if let Some(value) = get(options, "--fault") {
         let plan: FaultPlan = value.parse().map_err(|_| AixError::InvalidOption {
@@ -710,6 +751,91 @@ fn verify(options: &HashMap<String, String>) -> CliResult {
         return Ok(ExitCode::FAILURE);
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// Default loopback address of the characterization daemon.
+const SERVE_DEFAULT_ADDR: &str = "127.0.0.1:4617";
+
+/// `aix serve [status|shutdown]`: run the fault-tolerant characterization
+/// daemon, or talk to a running one.
+fn serve(action: Option<&str>, options: &HashMap<String, String>) -> CliResult {
+    match action {
+        None | Some("run") => serve_run(options),
+        Some("status") => serve_call(options, "{\"op\":\"status\"}"),
+        Some("shutdown") => serve_call(options, "{\"op\":\"shutdown\"}"),
+        Some(other) => Err(AixError::InvalidOption {
+            flag: "serve",
+            value: other.to_owned(),
+            expected: "run|status|shutdown",
+        }),
+    }
+}
+
+fn serve_run(options: &HashMap<String, String>) -> CliResult {
+    let mut config = ServerConfig::local_default(parse_engine_options(options)?);
+    config.addr = get(options, "--addr")
+        .unwrap_or(SERVE_DEFAULT_ADDR)
+        .to_owned();
+    config.addr_file = get(options, "--addr-file").map(PathBuf::from);
+    config.workers = parse_or(options, "--workers", 2, "a positive worker count")?;
+    config.queue_cap = parse_or(options, "--queue-cap", 8, "a positive queue capacity")?;
+    let deadline_ms: u64 = parse_or(
+        options,
+        "--deadline-ms",
+        0,
+        "a default request deadline in milliseconds (0 = none)",
+    )?;
+    config.default_deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
+    config.crash_on_panic = get(options, "--crash-on-panic").is_some();
+    // Crash recovery rides on the engine journal directory: `--no-journal`
+    // disables both the run journal and the serve request journal.
+    config.journal_path = config
+        .engine
+        .journal_dir
+        .as_ref()
+        .map(|dir| dir.join("serve-requests.journal"));
+    aix::serve::install_sigterm_drain();
+    let server =
+        Server::bind(config).map_err(|e| AixError::io("aix serve bind".to_owned(), e))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| AixError::io("aix serve".to_owned(), e))?;
+    aix::obs::progress!(
+        "aix serve listening on {addr} (SIGTERM or `aix serve shutdown` drains gracefully)"
+    );
+    server
+        .run()
+        .map_err(|e| AixError::io(addr.to_string(), e))?;
+    aix::obs::progress!("aix serve drained cleanly");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn serve_call(options: &HashMap<String, String>, payload: &str) -> CliResult {
+    let addr = match get(options, "--addr") {
+        Some(addr) => addr.to_owned(),
+        None => match get(options, "--addr-file") {
+            Some(path) => std::fs::read_to_string(path)
+                .map_err(|e| AixError::io(path.to_owned(), e))?
+                .trim()
+                .to_owned(),
+            None => SERVE_DEFAULT_ADDR.to_owned(),
+        },
+    };
+    let mut client = Client::connect(&addr).map_err(|e| AixError::io(addr.clone(), e))?;
+    client
+        .set_response_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| AixError::io(addr.clone(), e))?;
+    let response = client
+        .call(payload)
+        .map_err(|e| AixError::io(addr.clone(), e))?;
+    for (key, value) in response.fields() {
+        println!("{key}: {value}");
+    }
+    Ok(if response.status() == "ok" {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 fn error_rate(options: &HashMap<String, String>) -> CliResult {
