@@ -6,8 +6,9 @@ type Experiment = fn(&aix_bench::Options) -> String;
 
 fn main() {
     let options = aix_bench::Options::from_env();
-    let runs: [(&str, Experiment); 13] = [
+    let runs: [(&str, Experiment); 14] = [
         ("sim", experiments::sim::run),
+        ("timed", experiments::timed::run),
         ("serve", experiments::serve::run),
         ("fig1", experiments::fig1::run),
         ("fig2", experiments::fig2::run),

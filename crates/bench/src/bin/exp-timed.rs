@@ -1,0 +1,8 @@
+//! Measures scalar-vs-packed timed-engine throughput on aged netlists and
+//! appends the `timed:` records to `out/BENCH_timed.json`. Pass `--full`
+//! for paper-scale workloads; see `aix_bench::Options` for flags.
+
+fn main() {
+    let options = aix_bench::Options::from_env();
+    print!("{}", aix_bench::experiments::timed::run(&options));
+}

@@ -16,6 +16,7 @@ pub mod headline;
 pub mod schedule;
 pub mod serve;
 pub mod sim;
+pub mod timed;
 
 use aix_aging::{AgingScenario, Lifetime};
 

@@ -31,6 +31,21 @@ impl<F: FnMut(i64, i64, i64) -> i64> MacUnit for F {
     }
 }
 
+/// A lane-batched multiply-accumulate: `accs[l] += coeff × samples[l]`
+/// for every lane, in place, under the implementor's model. The
+/// coefficient is lane-invariant because the transform schedule applies
+/// the same tap to every block of a batch — which is exactly what lets a
+/// lane-parallel timed netlist run all blocks per evaluation.
+pub(crate) trait BatchMacUnit {
+    fn mac_batch(&mut self, accs: &mut [i64], coeff: i64, samples: &[i64]);
+}
+
+impl<F: FnMut(&mut [i64], i64, &[i64])> BatchMacUnit for F {
+    fn mac_batch(&mut self, accs: &mut [i64], coeff: i64, samples: &[i64]) {
+        self(accs, coeff, samples)
+    }
+}
+
 /// Arithmetic shift with round-to-nearest.
 pub(crate) fn round_shift(value: i64, bits: u32) -> i64 {
     (value + (1 << (bits - 1))) >> bits
@@ -98,6 +113,121 @@ pub(crate) fn two_d(mac: &mut impl MacUnit, block: &mut [i64; 64], forward: bool
     }
 }
 
+/// Lane-batched 1-D 8-point transform: `lines[l]` is lane *l*'s row or
+/// column. Per lane the MAC schedule (tap order, operand shifts, rounding)
+/// is identical to [`forward8`]/[`inverse8`], so a batch MAC that models
+/// each lane independently reproduces the scalar per-block arithmetic.
+pub(crate) fn transform8_batch(
+    mac: &mut impl BatchMacUnit,
+    lines: &[[i64; 8]],
+    forward: bool,
+) -> Vec<[i64; 8]> {
+    let lanes = lines.len();
+    let mut out = vec![[0i64; 8]; lanes];
+    let mut accs = vec![0i64; lanes];
+    let mut samples = vec![0i64; lanes];
+    for u in 0..8 {
+        accs.fill(0);
+        for x in 0..8 {
+            let coeff = if forward {
+                dct_coefficient(u, x)
+            } else {
+                idct_coefficient(u, x)
+            };
+            for (sample, line) in samples.iter_mut().zip(lines) {
+                *sample = line[x] << OPERAND_SHIFT;
+            }
+            mac.mac_batch(&mut accs, i64::from(coeff) << OPERAND_SHIFT, &samples);
+        }
+        for (lane_out, &acc) in out.iter_mut().zip(&accs) {
+            lane_out[u] = round_shift(acc, PASS_FRACTION_BITS);
+        }
+    }
+    out
+}
+
+/// Lane-batched row–column transform over up to 64 independent 8×8 blocks.
+pub(crate) fn two_d_batch(mac: &mut impl BatchMacUnit, blocks: &mut [[i64; 64]], forward: bool) {
+    let lanes = blocks.len();
+    let mut lines = vec![[0i64; 8]; lanes];
+    for row in 0..8 {
+        for (line, block) in lines.iter_mut().zip(blocks.iter()) {
+            line.copy_from_slice(&block[row * 8..row * 8 + 8]);
+        }
+        let t = transform8_batch(mac, &lines, forward);
+        for (block, out) in blocks.iter_mut().zip(&t) {
+            block[row * 8..row * 8 + 8].copy_from_slice(out);
+        }
+    }
+    for col in 0..8 {
+        for (line, block) in lines.iter_mut().zip(blocks.iter()) {
+            for row in 0..8 {
+                line[row] = block[row * 8 + col];
+            }
+        }
+        let t = transform8_batch(mac, &lines, forward);
+        for (block, out) in blocks.iter_mut().zip(&t) {
+            for row in 0..8 {
+                block[row * 8 + col] = out[row];
+            }
+        }
+    }
+}
+
+/// Lane-batched [`forward_block`]: one pixel block per lane.
+pub(crate) fn forward_block_batch(
+    mac: &mut impl BatchMacUnit,
+    blocks: &[[u8; 64]],
+) -> Vec<[i32; 64]> {
+    let mut work: Vec<[i64; 64]> = blocks
+        .iter()
+        .map(|block| {
+            let mut w = [0i64; 64];
+            for (slot, &p) in w.iter_mut().zip(block) {
+                *slot = i64::from(p) - 128;
+            }
+            w
+        })
+        .collect();
+    two_d_batch(mac, &mut work, true);
+    work.iter()
+        .map(|w| {
+            let mut out = [0i32; 64];
+            for (slot, &v) in out.iter_mut().zip(w) {
+                *slot = v as i32;
+            }
+            out
+        })
+        .collect()
+}
+
+/// Lane-batched [`inverse_block`]: one coefficient block per lane.
+pub(crate) fn inverse_block_batch(
+    mac: &mut impl BatchMacUnit,
+    coeff_blocks: &[[i32; 64]],
+) -> Vec<[u8; 64]> {
+    let mut work: Vec<[i64; 64]> = coeff_blocks
+        .iter()
+        .map(|coeffs| {
+            let mut w = [0i64; 64];
+            for (slot, &c) in w.iter_mut().zip(coeffs) {
+                *slot = i64::from(c);
+            }
+            w
+        })
+        .collect();
+    two_d_batch(mac, &mut work, false);
+    work.iter()
+        .map(|w| {
+            let mut out = [0u8; 64];
+            for (slot, &v) in out.iter_mut().zip(w) {
+                *slot = (v + 128).clamp(0, 255) as u8;
+            }
+            out
+        })
+        .collect()
+}
+
 /// 2-D forward DCT of one pixel block (level-shifted by −128).
 pub(crate) fn forward_block(mac: &mut impl MacUnit, block: &[u8; 64]) -> [i32; 64] {
     let mut work = [0i64; 64];
@@ -141,6 +271,33 @@ mod tests {
         let back = inverse_block(&mut exact, &coeffs);
         for (&a, &b) in block.iter().zip(&back) {
             assert!((i32::from(a) - i32::from(b)).abs() <= 2);
+        }
+    }
+
+    #[test]
+    fn batch_engine_matches_scalar_per_lane() {
+        let mut exact = |acc: i64, c: i64, s: i64| acc + c * s;
+        let mut exact_batch = |accs: &mut [i64], c: i64, samples: &[i64]| {
+            for (a, &s) in accs.iter_mut().zip(samples) {
+                *a += c * s;
+            }
+        };
+        let blocks: Vec<[u8; 64]> = (0..5u64)
+            .map(|b| {
+                let mut block = [0u8; 64];
+                for (i, slot) in block.iter_mut().enumerate() {
+                    *slot = ((i as u64 * 37 + b * 91 + 11) % 256) as u8;
+                }
+                block
+            })
+            .collect();
+        let batch_coeffs = forward_block_batch(&mut exact_batch, &blocks);
+        for (lane, block) in blocks.iter().enumerate() {
+            assert_eq!(batch_coeffs[lane], forward_block(&mut exact, block), "lane {lane}");
+        }
+        let batch_pixels = inverse_block_batch(&mut exact_batch, &batch_coeffs);
+        for (lane, coeffs) in batch_coeffs.iter().enumerate() {
+            assert_eq!(batch_pixels[lane], inverse_block(&mut exact, coeffs), "lane {lane}");
         }
     }
 

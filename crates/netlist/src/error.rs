@@ -40,6 +40,15 @@ pub enum NetlistError {
     NoOutputs,
     /// A referenced net id does not exist in this netlist.
     UnknownNet(NetId),
+    /// A delay annotation is unusable for timed simulation (NaN, negative,
+    /// or non-finite). The offending value is carried as its `{:?}` rendering
+    /// so the variant stays `Eq`.
+    InvalidDelay {
+        /// Net whose annotation is invalid.
+        net: NetId,
+        /// The rejected delay value, rendered as text.
+        delay: String,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -70,6 +79,10 @@ impl fmt::Display for NetlistError {
             ),
             NetlistError::NoOutputs => write!(f, "netlist declares no primary outputs"),
             NetlistError::UnknownNet(net) => write!(f, "net {net} does not exist"),
+            NetlistError::InvalidDelay { net, delay } => write!(
+                f,
+                "net {net} has invalid delay annotation {delay} ps (must be finite and >= 0)"
+            ),
         }
     }
 }

@@ -7,6 +7,19 @@
 //! and stay as string literals for trace compatibility — new subsystems
 //! add their vocabulary here.
 
+/// Simulation-engine events: spans over packed (lane-parallel) runs and
+/// counters sized in lane words. The value-mode `sim_packed` span predates
+/// this module and stays a literal in `aix-sim`; the timed engine's
+/// vocabulary lives here.
+pub mod sim {
+    /// Span over one packed *timed* (event-driven) measurement — the
+    /// lane-parallel twin of a scalar `TimedSimulator` sweep.
+    pub const SPAN_TIMED_PACKED: &str = "sim_timed_packed";
+    /// Counter: event groups applied by the packed timed engine (one group
+    /// covers up to 64 lanes of the same net at the same tick).
+    pub const TIMED_EVENT_GROUPS: &str = "timed_event_groups";
+}
+
 /// `aix serve` daemon events: one request span per accepted request, plus
 /// lifecycle counters matched by `aix serve status` statistics.
 pub mod serve {

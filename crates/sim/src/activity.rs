@@ -213,7 +213,41 @@ pub fn collect_timed_activity<I>(
 where
     I: IntoIterator<Item = Vec<bool>>,
 {
+    collect_timed_activity_with(netlist, delays, stimuli, SimEngine::from_env_or_default())
+}
+
+/// [`collect_timed_activity`] with an explicit engine choice. Both engines
+/// produce bit-identical `Activity`: the packed path advances 64 vectors
+/// per word through the lane-parallel timed engine, whose per-lane
+/// transition sequences equal the scalar simulator's.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn collect_timed_activity_with<I>(
+    netlist: &Netlist,
+    delays: &aix_sta::NetDelays,
+    stimuli: I,
+    engine: SimEngine,
+) -> Result<Activity, NetlistError>
+where
+    I: IntoIterator<Item = Vec<bool>>,
+{
     let _span = aix_obs::span!("activity_timed", nets = netlist.net_count());
+    match engine {
+        SimEngine::Scalar => collect_timed_activity_scalar(netlist, delays, stimuli),
+        SimEngine::Packed => collect_timed_activity_packed(netlist, delays, stimuli),
+    }
+}
+
+fn collect_timed_activity_scalar<I>(
+    netlist: &Netlist,
+    delays: &aix_sta::NetDelays,
+    stimuli: I,
+) -> Result<Activity, NetlistError>
+where
+    I: IntoIterator<Item = Vec<bool>>,
+{
     let mut sim = crate::TimedSimulator::new(netlist, delays)?;
     // A zero-delay evaluator supplies the settled per-net values for the
     // ones statistics; the timed simulator supplies true transition counts.
@@ -229,6 +263,54 @@ where
             *one += u64::from(value);
         }
         vectors += 1;
+    }
+    Ok(Activity::from_parts(
+        ones,
+        sim.transition_counts().to_vec(),
+        vectors,
+    ))
+}
+
+fn collect_timed_activity_packed<I>(
+    netlist: &Netlist,
+    delays: &aix_sta::NetDelays,
+    stimuli: I,
+) -> Result<Activity, NetlistError>
+where
+    I: IntoIterator<Item = Vec<bool>>,
+{
+    let _span = aix_obs::span!(
+        aix_obs::names::sim::SPAN_TIMED_PACKED,
+        consumer = "activity_timed",
+        nets = netlist.net_count()
+    );
+    let mut sim = crate::PackedTimedSimulator::new(netlist, delays)?;
+    let mut ones = vec![0u64; netlist.net_count()];
+    let mut vectors = 0u64;
+    let mut batch: Vec<Vec<bool>> = Vec::with_capacity(LANES);
+    let flush = |batch: &[Vec<bool>],
+                 sim: &mut crate::PackedTimedSimulator,
+                 ones: &mut [u64]|
+     -> Result<(), NetlistError> {
+        // A generous clock (see the scalar path); after the step the
+        // engine's net words hold each lane's settled values.
+        sim.step_stream_batch(batch, f64::MAX / 4.0)?;
+        let mask = lane_mask(batch.len());
+        for (one, &w) in ones.iter_mut().zip(sim.net_words()) {
+            *one += u64::from((w & mask).count_ones());
+        }
+        Ok(())
+    };
+    for vector in stimuli {
+        batch.push(vector);
+        vectors += 1;
+        if batch.len() == LANES {
+            flush(&batch, &mut sim, &mut ones)?;
+            batch.clear();
+        }
+    }
+    if !batch.is_empty() {
+        flush(&batch, &mut sim, &mut ones)?;
     }
     Ok(Activity::from_parts(
         ones,

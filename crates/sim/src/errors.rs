@@ -1,7 +1,8 @@
 //! Timing-error statistics: the paper's motivational measurement (Fig. 1).
 
 use crate::golden::{golden_lane_word, golden_word};
-use crate::packed::{PackedEvaluator, SimEngine, LANES};
+use crate::packed::{SimEngine, LANES};
+use crate::timed_packed::PackedTimedSimulator;
 use crate::TimedSimulator;
 use aix_netlist::{Netlist, NetlistError};
 use aix_sta::NetDelays;
@@ -69,12 +70,12 @@ where
 
 /// [`measure_errors`] with an explicit engine choice.
 ///
-/// The event-driven clocking itself is irreducibly per-vector (each vector
-/// has its own event queue), so both engines step the timed simulator
-/// scalar-wise; `Packed` computes the golden settled reference and all
-/// comparison statistics 64 vectors per word. The two paths are
-/// byte-identical — floating-point accumulation happens in stimulus order
-/// on both.
+/// `Packed` runs the lane-parallel timed engine
+/// ([`PackedTimedSimulator`]): 64 vectors advance through one shared event
+/// calendar per batch, with per-lane sample-at-clock and settle state. The
+/// two paths are byte-identical — every per-lane outcome equals the scalar
+/// engine's, and floating-point accumulation happens in stimulus order on
+/// both.
 ///
 /// # Errors
 ///
@@ -151,35 +152,25 @@ where
     I: IntoIterator<Item = Vec<bool>>,
 {
     let _span = aix_obs::span!(
-        "sim_packed",
+        aix_obs::names::sim::SPAN_TIMED_PACKED,
         consumer = "measure_errors",
         nets = netlist.net_count()
     );
-    let mut sim = TimedSimulator::new(netlist, delays)?;
-    let mut golden = PackedEvaluator::new(netlist)?;
+    let mut sim = PackedTimedSimulator::new(netlist, delays)?;
     let (mut stats, mut total_abs_error) = new_stats();
-    let mut sampled_words = vec![0u64; netlist.outputs().len()];
     let mut batch: Vec<Vec<bool>> = Vec::with_capacity(LANES);
     let mut flush = |batch: &[Vec<bool>],
                      stats: &mut ErrorStats,
                      total_abs_error: &mut f64|
      -> Result<(), NetlistError> {
-        // Golden settled reference for all lanes in one netlist walk; the
-        // timed engine supplies the sampled side per vector.
-        golden.eval_batch(batch)?;
-        sampled_words.fill(0);
-        for (lane, vector) in batch.iter().enumerate() {
-            let outcome = sim.step(vector, clock_ps)?;
-            for (word, &bit) in sampled_words.iter_mut().zip(&outcome.sampled) {
-                *word |= u64::from(bit) << lane;
-            }
-        }
-        let mask = golden.lane_mask();
-        let golden_words = golden.output_words();
-        let mut erroneous_lanes = 0u64;
-        for (&sampled, &settled) in sampled_words.iter().zip(golden_words) {
-            let diff = (sampled ^ settled) & mask;
-            erroneous_lanes |= diff;
+        // The packed timed engine advances all lanes through one shared
+        // event calendar; sampled and settled words come out together.
+        let outcome = sim.step_stream_batch(batch, clock_ps)?;
+        let sampled_words = outcome.sampled_words();
+        let settled_words = outcome.settled_words();
+        let erroneous_lanes = outcome.error_lanes();
+        for (&sampled, &settled) in sampled_words.iter().zip(settled_words) {
+            let diff = (sampled ^ settled) & crate::lane_mask(batch.len());
             stats.wrong_bits += u64::from(diff.count_ones());
         }
         stats.vectors += batch.len() as u64;
@@ -190,8 +181,8 @@ where
         while remaining != 0 {
             let lane = remaining.trailing_zeros() as usize;
             remaining &= remaining - 1;
-            let err = golden_lane_word(&sampled_words, lane)
-                .abs_diff(golden_lane_word(golden_words, lane));
+            let err = golden_lane_word(sampled_words, lane)
+                .abs_diff(golden_lane_word(settled_words, lane));
             *total_abs_error += err as f64;
             stats.max_abs_error = stats.max_abs_error.max(err);
         }
@@ -235,10 +226,12 @@ mod tests {
     #[test]
     fn fresh_circuit_at_fresh_clock_is_error_free() {
         let (nl, clock) = setup(12);
+        // 1 ps of margin over the STA critical path absorbs both the
+        // edge-exclusive sampling rule and per-arc tick rounding.
         let stats = measure_errors(
             &nl,
             &NetDelays::fresh(&nl),
-            clock + 1e-6,
+            clock + 1.0,
             NormalOperands::new(12, 1).vectors(300),
         )
         .unwrap();

@@ -4,11 +4,15 @@
 //!
 //! Three capabilities live here:
 //!
-//! * [`TimedSimulator`] — an event-driven simulator with per-arc delays
-//!   (the Rust counterpart of gate-level simulation with an aged `.sdf`).
-//!   Outputs are sampled at the clock edge; paths that have not settled
-//!   yet produce exactly the nondeterministic timing errors the paper's
-//!   motivational study demonstrates.
+//! * [`TimedSimulator`] / [`PackedTimedSimulator`] — event-driven
+//!   simulators with per-net transport delays on an integer femtosecond
+//!   tick grid ([`TICKS_PER_PS`]) — the Rust counterpart of gate-level
+//!   simulation with an aged `.sdf`. Outputs are sampled at the clock
+//!   edge (an arrival exactly on the edge is a setup violation); paths
+//!   that have not settled yet produce exactly the timing errors the
+//!   paper's motivational study demonstrates. The packed variant runs 64
+//!   stimulus vectors per `u64` word with per-lane sample/settle state,
+//!   bit-identical to the scalar engine.
 //! * [`ErrorStats`] / [`measure_errors`] — error-probability measurement of
 //!   a component clocked at its fresh frequency while its gates age
 //!   (reproduces Fig. 1).
@@ -18,7 +22,9 @@
 //! * [`PackedEvaluator`] / [`SimEngine`] — bit-parallel (64 vectors per
 //!   `u64` word) functional simulation backing the untimed value-mode
 //!   consumers above; select per call with `*_with` variants or globally
-//!   via the `AIX_SIM_ENGINE` environment variable.
+//!   via the `AIX_SIM_ENGINE` environment variable. The same dispatch
+//!   now also selects the timed engine for [`measure_errors`] and
+//!   [`collect_timed_activity`].
 //!
 //! # Examples
 //!
@@ -49,11 +55,16 @@ mod golden;
 mod packed;
 mod stimuli;
 mod timed;
+mod timed_packed;
 
-pub use activity::{collect_timed_activity, stress_histogram, stress_pairs, Activity, StressHistogram};
+pub use activity::{
+    collect_timed_activity, collect_timed_activity_with, stress_histogram, stress_pairs, Activity,
+    StressHistogram,
+};
 pub use errors::{measure_errors, measure_errors_with, ErrorStats};
 pub use faults::{full_fault_list, simulate_faults, simulate_faults_with, FaultCoverage, StuckAtFault};
 pub use golden::{golden_lane_word, golden_word, reference_outputs};
 pub use packed::{lane_mask, PackedEvaluator, SimEngine, LANES};
 pub use stimuli::{NormalOperands, OperandSource, SignedNormalOperands, UniformOperands, VectorStream};
-pub use timed::{StepOutcome, TimedSimulator};
+pub use timed::{ps_to_ticks, ticks_to_ps, StepOutcome, TimedSimulator, TICKS_PER_PS};
+pub use timed_packed::{PackedStepOutcome, PackedTimedSimulator};

@@ -7,11 +7,13 @@
 //! value-mode consumers in this crate ([`measure_errors`], [`Activity`],
 //! [`simulate_faults`]) this turns 64 full netlist walks into one.
 //!
-//! The timed engine ([`TimedSimulator`](crate::TimedSimulator)) stays
-//! scalar: event-driven timing is per-vector by nature (each vector has its
-//! own event queue and settle time), so only the *functional reference*
-//! side of timed measurements is packed. DESIGN.md records the argument
-//! for why that preserves semantics bit-for-bit.
+//! Timed simulation is packed too:
+//! [`PackedTimedSimulator`](crate::PackedTimedSimulator) lane-parallelizes
+//! the event-driven engine itself — one shared event calendar batched per
+//! femtosecond tick, 64 vectors per word, per-lane sample-at-clock and
+//! settle state — and is bit-identical to the scalar
+//! [`TimedSimulator`](crate::TimedSimulator) per lane. DESIGN.md records
+//! the suppression-invariant argument for why that holds.
 //!
 //! [`measure_errors`]: crate::measure_errors
 //! [`Activity`]: crate::Activity
@@ -26,11 +28,13 @@ use std::sync::Arc;
 /// Number of stimulus vectors packed per machine word.
 pub const LANES: usize = 64;
 
-/// Which functional engine drives untimed value simulation.
+/// Which engine drives simulation — functional (value-mode) and timed
+/// (event-driven) consumers both dispatch on it.
 ///
 /// Both engines produce byte-identical results (the differential suite in
-/// `tests/sim_equivalence.rs` pins this); `Packed` is the default because
-/// it evaluates 64 vectors per netlist walk. Select explicitly with
+/// `tests/sim_equivalence.rs` pins this for functional and timed runs
+/// alike); `Packed` is the default because it evaluates 64 vectors per
+/// netlist walk or shared event calendar. Select explicitly with
 /// `--sim-engine scalar|packed` on the CLI or the `AIX_SIM_ENGINE`
 /// environment variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]

@@ -1,29 +1,80 @@
-//! Event-driven timed simulation with transport delays.
+//! Event-driven timed simulation with per-net transport delays.
+//!
+//! Time is discrete: every event lives on an integer **femtosecond tick
+//! grid** ([`TICKS_PER_PS`] ticks per picosecond). Delay annotations and the
+//! clock period are rounded to the nearest tick on entry, so two events that
+//! are arithmetically simultaneous always compare equal — accumulated `f64`
+//! sums reached via different gate paths can no longer fragment one instant
+//! into several evaluation batches. The packed engine
+//! ([`crate::PackedTimedSimulator`]) shares the same grid, which is what
+//! makes lane-exact differential testing possible.
 
-use aix_netlist::{Evaluator, NetDriver, Netlist, NetlistError};
+use aix_netlist::{Evaluator, NetDriver, NetId, Netlist, NetlistError};
 use aix_sta::NetDelays;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+/// Number of simulation ticks per picosecond: the tick quantum is one
+/// femtosecond. Sub-femtosecond structure in a delay annotation is rounded
+/// away when a simulator is constructed.
+pub const TICKS_PER_PS: u64 = 1000;
+
+/// Quantizes a picosecond instant to the integer tick grid (nearest tick).
+///
+/// The conversion is total: `NaN` and negative values map to tick 0 and
+/// values beyond the grid saturate to `u64::MAX` (Rust float→int casts
+/// saturate), so an "effectively infinite" clock like `f64::MAX / 4.0`
+/// simply never samples. Delay *annotations* are still validated up front
+/// by [`TimedSimulator::new`] — this leniency only applies to the clock.
+pub fn ps_to_ticks(ps: f64) -> u64 {
+    (ps * TICKS_PER_PS as f64).round() as u64
+}
+
+/// Converts a tick count back to picoseconds.
+pub fn ticks_to_ps(ticks: u64) -> f64 {
+    ticks as f64 / TICKS_PER_PS as f64
+}
+
+/// Validates a delay annotation and quantizes it to ticks, one entry per
+/// net. Shared by the scalar and packed timed engines so both reject the
+/// same inputs and agree on every event time.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::InvalidDelay`] for NaN, negative, or non-finite
+/// entries.
+pub(crate) fn quantize_delays(delays: &NetDelays) -> Result<Vec<u64>, NetlistError> {
+    let slice = delays.as_slice();
+    let mut ticks = Vec::with_capacity(slice.len());
+    for (index, &ps) in slice.iter().enumerate() {
+        if !ps.is_finite() || ps < 0.0 {
+            return Err(NetlistError::InvalidDelay {
+                net: NetId::from_raw(u32::try_from(index).unwrap_or(u32::MAX)),
+                delay: format!("{ps:?}"),
+            });
+        }
+        ticks.push(ps_to_ticks(ps));
+    }
+    Ok(ticks)
+}
+
 /// One scheduled net transition.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Event {
-    time_ps: f64,
+    /// Instant in ticks (see [`TICKS_PER_PS`]).
+    time: u64,
     seq: u64,
     net: u32,
     value: bool,
 }
-
-impl Eq for Event {}
 
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap; we want earliest-first. Break
         // ties by insertion order for determinism.
         other
-            .time_ps
-            .partial_cmp(&self.time_ps)
-            .expect("event times are finite")
+            .time
+            .cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -39,6 +90,10 @@ impl PartialOrd for Event {
 pub struct StepOutcome {
     /// Output values captured at the sampling instant (`t = t_clock`).
     /// These are what the downstream register latches — possibly wrong.
+    ///
+    /// A transition arriving *exactly* at the sampling instant is a setup
+    /// violation: the snapshot is taken before any event at `t >= t_clock`
+    /// is applied, so an edge landing on the clock edge is **not** latched.
     pub sampled: Vec<bool>,
     /// Output values after all events settled (the correct result).
     pub settled: Vec<bool>,
@@ -47,7 +102,7 @@ pub struct StepOutcome {
     pub timing_error: bool,
     /// Time of the last net transition this cycle, in picoseconds — the
     /// *dynamic* (exercised) path delay, as opposed to the structural
-    /// critical path STA reports.
+    /// critical path STA reports. Always a whole number of ticks.
     pub settle_ps: f64,
     /// Net transitions applied this cycle, *including glitches* — the
     /// quantity a zero-delay functional simulation underestimates and the
@@ -55,17 +110,22 @@ pub struct StepOutcome {
     pub transitions: u64,
 }
 
-/// Event-driven gate-level simulator with per-arc transport delays.
+/// Event-driven gate-level simulator with per-**net** transport delays:
+/// each driven net carries a single delay from its driving gate's inputs to
+/// its own transition (the same annotation STA consumes), not a distinct
+/// delay per input→output arc.
 ///
 /// The simulator keeps the settled state between [`step`](Self::step)
 /// calls: each step models one clock cycle in which the primary inputs
 /// switch at `t = 0` and the outputs are latched at `t = t_clock`, exactly
 /// like gate-level simulation of a pipeline stage under an aged `.sdf`
-/// annotation.
+/// annotation. All event times live on the femtosecond tick grid
+/// ([`TICKS_PER_PS`]).
 #[derive(Debug)]
 pub struct TimedSimulator<'nl> {
     netlist: &'nl Netlist,
-    delays: Vec<f64>,
+    /// Per-net transport delay in ticks, validated and quantized once.
+    delays_ticks: Vec<u64>,
     fanout: Vec<Vec<(u32, u8)>>,
     values: Vec<bool>,
     /// Most recently scheduled (future) value per net, to suppress
@@ -86,13 +146,17 @@ pub struct TimedSimulator<'nl> {
 }
 
 impl<'nl> TimedSimulator<'nl> {
-    /// Prepares a simulator for `netlist` with the given per-net arc delays
-    /// (fresh or aged — the same annotation STA consumes).
+    /// Prepares a simulator for `netlist` with the given per-net delays
+    /// (fresh or aged — the same annotation STA consumes). Delays are
+    /// quantized to the femtosecond tick grid.
     ///
     /// # Errors
     ///
-    /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
+    /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists and
+    /// [`NetlistError::InvalidDelay`] if any delay entry is NaN, negative,
+    /// or non-finite.
     pub fn new(netlist: &'nl Netlist, delays: &NetDelays) -> Result<Self, NetlistError> {
+        let delays_ticks = quantize_delays(delays)?;
         let oracle = Evaluator::new(netlist)?;
         let mut values = vec![false; netlist.net_count()];
         for (id, net) in netlist.nets() {
@@ -102,7 +166,7 @@ impl<'nl> TimedSimulator<'nl> {
         }
         Ok(Self {
             netlist,
-            delays: delays.as_slice().to_vec(),
+            delays_ticks,
             fanout: netlist
                 .fanout()
                 .into_iter()
@@ -126,14 +190,14 @@ impl<'nl> TimedSimulator<'nl> {
         self.netlist.inputs().len()
     }
 
-    fn schedule(&mut self, net: u32, value: bool, time_ps: f64) {
+    fn schedule(&mut self, net: u32, value: bool, time: u64) {
         if self.scheduled[net as usize] == value {
             return;
         }
         self.scheduled[net as usize] = value;
         self.seq += 1;
         self.queue.push(Event {
-            time_ps,
+            time,
             seq: self.seq,
             net,
             value,
@@ -141,8 +205,8 @@ impl<'nl> TimedSimulator<'nl> {
     }
 
     /// Re-evaluates `gate` from current net values and schedules any output
-    /// changes `delay` later.
-    fn evaluate_gate(&mut self, gate: u32, now_ps: f64) {
+    /// changes one per-net delay later.
+    fn evaluate_gate(&mut self, gate: u32, now: u64) {
         let g = self.netlist.gate(aix_netlist::GateId::from_raw(gate));
         let function = self.netlist.library().cell(g.cell).function;
         let mut in_buf = [false; aix_cells::MAX_INPUTS];
@@ -153,13 +217,14 @@ impl<'nl> TimedSimulator<'nl> {
         function.eval(&in_buf[..g.inputs.len()], &mut out_buf);
         for (pin, &out_net) in g.outputs.iter().enumerate() {
             let new = out_buf[pin];
-            let delay = self.delays[out_net.index()];
-            self.schedule(out_net.raw(), new, now_ps + delay);
+            let delay = self.delays_ticks[out_net.index()];
+            self.schedule(out_net.raw(), new, now.saturating_add(delay));
         }
     }
 
     /// Simulates one clock cycle: applies `inputs` at `t = 0`, samples the
-    /// outputs at `t = clock_ps`, then lets the circuit settle completely.
+    /// outputs at `t = clock_ps` (rounded to the nearest tick), then lets
+    /// the circuit settle completely.
     ///
     /// The first call initializes every internal net from a functional
     /// evaluation (as if the previous cycle had infinite settling time).
@@ -195,32 +260,35 @@ impl<'nl> TimedSimulator<'nl> {
                 transitions: 0,
             });
         }
+        let clock_ticks = ps_to_ticks(clock_ps);
         // Apply input transitions at t = 0.
         for (&net, &value) in self.netlist.inputs().iter().zip(inputs) {
-            self.schedule(net.raw(), value, 0.0);
+            self.schedule(net.raw(), value, 0);
         }
         let mut sampled: Option<Vec<bool>> = None;
-        let mut settle_ps = 0.0f64;
+        let mut settle_ticks = 0u64;
         let mut transitions = 0u64;
         // Process events in timestamp batches: apply every transition of
         // the current instant first, then evaluate each affected gate once.
         while let Some(first) = self.queue.peek() {
-            let now = first.time_ps;
-            if sampled.is_none() && now > clock_ps {
+            let now = first.time;
+            // Sample *before* applying this batch: an arrival exactly at
+            // the clock edge has zero setup margin and must not be latched.
+            if sampled.is_none() && now >= clock_ticks {
                 sampled = Some(self.snapshot_outputs());
             }
             self.dirty_epoch += 1;
             let epoch = self.dirty_epoch;
             self.dirty_gates.clear();
             while let Some(event) = self.queue.peek() {
-                if event.time_ps != now {
+                if event.time != now {
                     break;
                 }
                 let event = self.queue.pop().expect("peeked");
                 if self.values[event.net as usize] == event.value {
                     continue;
                 }
-                settle_ps = settle_ps.max(now);
+                settle_ticks = settle_ticks.max(now);
                 transitions += 1;
                 self.transition_counts[event.net as usize] += 1;
                 self.values[event.net as usize] = event.value;
@@ -244,7 +312,7 @@ impl<'nl> TimedSimulator<'nl> {
             sampled,
             settled,
             timing_error,
-            settle_ps,
+            settle_ps: ticks_to_ps(settle_ticks),
             transitions,
         })
     }
@@ -288,7 +356,7 @@ mod tests {
     use super::*;
     use aix_aging::{AgingModel, AgingScenario, Lifetime};
     use aix_arith::{build_adder, AdderKind, ComponentSpec};
-    use aix_cells::Library;
+    use aix_cells::{CellFunction, DriveStrength, Library};
     use aix_netlist::{bus_from_u64, bus_to_u64};
     use aix_sta::{analyze, NetDelays};
     use std::sync::Arc;
@@ -360,10 +428,117 @@ mod tests {
         for _ in 0..200 {
             let a = u64::from(rng.gen::<u16>() & 0xFFF);
             let b = u64::from(rng.gen::<u16>() & 0xFFF);
-            let out = sim.step(&operands(12, a, b), clock + 1e-6).unwrap();
+            // A 1 ps margin over the STA critical path absorbs both the
+            // edge-exclusive sampling semantics and per-arc tick rounding
+            // (at most 0.5 fs per gate along any path).
+            let out = sim.step(&operands(12, a, b), clock + 1.0).unwrap();
             assert!(!out.timing_error, "{a}+{b} erred at the fresh clock");
             assert_eq!(bus_to_u64(&out.sampled), a + b);
         }
+    }
+
+    #[test]
+    fn transition_on_the_clock_edge_is_a_setup_violation() {
+        // Learn the exact settle instant of the full-carry flip, then clock
+        // the same transition at precisely that instant: the arrival lands
+        // on the sampling edge and must count as a violation. One tick
+        // later is safe.
+        let nl = adder(AdderKind::RippleCarry, 8);
+        let delays = NetDelays::fresh(&nl);
+        let mut sim = TimedSimulator::new(&nl, &delays).unwrap();
+        sim.step(&operands(8, 0, 0), 1e9).unwrap();
+        let relaxed = sim.step(&operands(8, 255, 1), 1e9).unwrap();
+        assert!(!relaxed.timing_error);
+        let settle = relaxed.settle_ps;
+        assert!(settle > 0.0);
+
+        sim.reset();
+        sim.step(&operands(8, 0, 0), 1e9).unwrap();
+        let edge = sim.step(&operands(8, 255, 1), settle).unwrap();
+        assert!(
+            edge.timing_error,
+            "a carry arriving exactly on the clock edge has zero setup margin"
+        );
+        assert_ne!(bus_to_u64(&edge.sampled), 256);
+
+        sim.reset();
+        sim.step(&operands(8, 0, 0), 1e9).unwrap();
+        let one_tick_later = sim
+            .step(&operands(8, 255, 1), settle + 1.0 / TICKS_PER_PS as f64)
+            .unwrap();
+        assert!(!one_tick_later.timing_error, "one tick of margin suffices");
+    }
+
+    #[test]
+    fn invalid_delays_are_rejected_up_front() {
+        let nl = adder(AdderKind::RippleCarry, 4);
+        let good = NetDelays::fresh(&nl);
+        let last = good.as_slice().len() - 1;
+        for bad in [f64::NAN, -1.0, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut raw = good.as_slice().to_vec();
+            raw[last] = bad;
+            match TimedSimulator::new(&nl, &NetDelays::from_raw(raw)) {
+                Err(NetlistError::InvalidDelay { net, .. }) => {
+                    assert_eq!(net.index(), last, "error names the offending net");
+                }
+                other => panic!("delay {bad} must be rejected, got {other:?}"),
+            }
+        }
+        // Zero and positive delays stay valid.
+        let mut raw = good.as_slice().to_vec();
+        raw[0] = 0.0;
+        assert!(TimedSimulator::new(&nl, &NetDelays::from_raw(raw)).is_ok());
+    }
+
+    #[test]
+    fn reconvergent_equal_delays_share_one_batch() {
+        // Two inverter pairs from the same input, with per-net delays
+        // 0.1+0.2 and 0.15+0.15 ps, reconverge on an XOR. On the tick grid
+        // both paths arrive at exactly 300 fs, so the XOR sees both inputs
+        // flip in one batch and never glitches. (Under f64 event times
+        // 0.1+0.2 != 0.15+0.15, the instant fragments and the XOR pulses.)
+        let lib = Arc::new(Library::nangate45_like());
+        let inv = lib.find(CellFunction::Inv, DriveStrength::X1).unwrap();
+        let xor = lib.find(CellFunction::Xor2, DriveStrength::X1).unwrap();
+        let mut nl = Netlist::new("reconv", lib.clone());
+        let a = nl.add_input("a");
+        let n1 = nl.add_gate(inv, &[a]).unwrap()[0];
+        let x1 = nl.add_gate(inv, &[n1]).unwrap()[0];
+        let n2 = nl.add_gate(inv, &[a]).unwrap()[0];
+        let x2 = nl.add_gate(inv, &[n2]).unwrap()[0];
+        let y = nl.add_gate(xor, &[x1, x2]).unwrap()[0];
+        nl.mark_output("y", y);
+
+        let mut raw = vec![0.0; nl.net_count()];
+        raw[n1.index()] = 0.1;
+        raw[x1.index()] = 0.2;
+        raw[n2.index()] = 0.15;
+        raw[x2.index()] = 0.15;
+        raw[y.index()] = 0.1;
+        let delays = NetDelays::from_raw(raw);
+        let mut sim = TimedSimulator::new(&nl, &delays).unwrap();
+        sim.step(&[false], 1e9).unwrap();
+        let out = sim.step(&[true], 1e9).unwrap();
+        assert_eq!(out.settled, vec![false]);
+        assert_eq!(
+            sim.transition_counts()[y.index()],
+            0,
+            "equal-instant reconvergence must not glitch the XOR"
+        );
+    }
+
+    #[test]
+    fn tick_quantization_is_total_and_saturating() {
+        assert_eq!(ps_to_ticks(0.0), 0);
+        assert_eq!(ps_to_ticks(1.0), TICKS_PER_PS);
+        assert_eq!(ps_to_ticks(0.0004), 0);
+        assert_eq!(ps_to_ticks(0.0006), 1);
+        assert_eq!(ps_to_ticks(f64::NAN), 0);
+        assert_eq!(ps_to_ticks(-5.0), 0);
+        assert_eq!(ps_to_ticks(f64::INFINITY), u64::MAX);
+        assert_eq!(ps_to_ticks(f64::MAX / 4.0), u64::MAX);
+        assert_eq!(ticks_to_ps(1500), 1.5);
+        assert_eq!(ps_to_ticks(ticks_to_ps(987_654_321)), 987_654_321);
     }
 
     #[test]

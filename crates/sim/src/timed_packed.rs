@@ -1,0 +1,769 @@
+//! Lane-parallel (packed) event-driven timed simulation.
+//!
+//! [`PackedTimedSimulator`] simulates up to [`LANES`] = 64 independent
+//! stimulus vectors per `u64` word through *timed* gate-level evaluation:
+//! the same per-net transport delays, clock-edge sampling, settle times and
+//! glitch counts as the scalar [`TimedSimulator`](crate::TimedSimulator),
+//! but with every gate evaluation ([`CellFunction::eval_words`]) and every
+//! net transition shared across all lanes.
+//!
+//! Two properties make the engine exact rather than approximate:
+//!
+//! * **Integer tick grid.** All event times are femtosecond ticks
+//!   ([`crate::TICKS_PER_PS`]), shared with the scalar engine, so
+//!   "simultaneous" is decidable and both engines batch the same instants.
+//! * **Event groups.** The calendar maps ticks to `Vec<EventGroup>` (a
+//!   flat hash map plus a min-heap of distinct ticks): one group carries a
+//!   net's new lane word plus the mask of lanes that actually change.
+//!   Lanes whose delays drive a transition to the same (net, tick) share
+//!   one group, one calendar operation, and one gate re-evaluation — on
+//!   balanced adders most lanes do, which is where the speedup over 64
+//!   scalar event queues comes from.
+//!
+//! Per lane, the sequence of transitions on every net is identical to what
+//! a scalar simulator stepping that lane's stimulus stream would apply
+//! (single driver per net, suppression against the last scheduled value,
+//! sampling before any event at `t >= t_clock`), so per-lane outcomes are
+//! bit-identical — `tests/sim_equivalence.rs` pins this differentially.
+
+use crate::packed::{lane_mask, PackedEvaluator, LANES};
+use crate::timed::{ps_to_ticks, quantize_delays, ticks_to_ps};
+use crate::StepOutcome;
+use aix_cells::{CellFunction, MAX_INPUTS, MAX_OUTPUTS};
+use aix_netlist::{Netlist, NetlistError};
+use aix_sta::NetDelays;
+use std::cmp::Reverse;
+use std::collections::{hash_map, BinaryHeap, HashMap};
+use std::hash::{BuildHasher, Hasher};
+
+/// Multiplicative mixing hasher for tick keys: ticks are already
+/// well-spread integers, so one multiply-rotate replaces SipHash on the
+/// calendar's hottest path (one lookup per scheduled event group).
+#[derive(Default)]
+struct TickHasher(u64);
+
+impl Hasher for TickHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("tick keys hash through write_u64");
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        self.0 = value.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_right(29);
+    }
+}
+
+#[derive(Default, Clone)]
+struct TickHasherBuilder;
+
+impl BuildHasher for TickHasherBuilder {
+    type Hasher = TickHasher;
+
+    fn build_hasher(&self) -> TickHasher {
+        TickHasher::default()
+    }
+}
+
+/// One batch of lane transitions on a single net at a single tick.
+#[derive(Debug, Clone, Copy)]
+struct EventGroup {
+    net: u32,
+    /// New lane word of the net (only bits under `mask` are meaningful).
+    values: u64,
+    /// Lanes this group transitions, as scheduled. Application re-masks
+    /// against the current word, mirroring the scalar engine's "skip if
+    /// already at that value" rule per lane.
+    mask: u64,
+}
+
+/// How the lanes of a [`PackedTimedSimulator`] are being fed. The two
+/// modes imply different lane-state chaining and must not be mixed on one
+/// simulator instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// One logical stimulus stream chunked 64 vectors at a time
+    /// ([`PackedTimedSimulator::step_stream_batch`]): lane *l* starts from
+    /// the settled state of vector *l − 1*.
+    StreamBatch,
+    /// 64 persistent independent streams
+    /// ([`PackedTimedSimulator::step_streams`]): lane *l* carries its own
+    /// settled state across calls.
+    Streams,
+}
+
+/// Per-lane results of one packed timed step: the lane-parallel twin of
+/// [`StepOutcome`]. Use [`outcome_for_lane`](Self::outcome_for_lane) for an
+/// exact scalar-shaped view of one lane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedStepOutcome {
+    lanes: usize,
+    /// Output lane words captured at the sampling instant, port order.
+    sampled_words: Vec<u64>,
+    /// Output lane words after all events settled, port order.
+    settled_words: Vec<u64>,
+    /// Mask of lanes whose sampled word differs from their settled word.
+    error_lanes: u64,
+    /// Per-lane settle instant in ticks (0 when the lane saw no event).
+    settle_ticks: Vec<u64>,
+    /// Per-lane transition counts, glitches included.
+    transitions: Vec<u64>,
+}
+
+impl PackedStepOutcome {
+    /// Number of active lanes in this step.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Output lane words at the sampling instant, in port order. A
+    /// transition arriving exactly at the clock edge is *not* latched —
+    /// the same edge-exclusive semantics as the scalar engine.
+    pub fn sampled_words(&self) -> &[u64] {
+        &self.sampled_words
+    }
+
+    /// Output lane words after the circuit settled, in port order.
+    pub fn settled_words(&self) -> &[u64] {
+        &self.settled_words
+    }
+
+    /// Mask of lanes that latched at least one wrong output bit.
+    pub fn error_lanes(&self) -> u64 {
+        self.error_lanes
+    }
+
+    /// Whether lane `lane` suffered a timing error this step.
+    pub fn timing_error(&self, lane: usize) -> bool {
+        assert!(lane < self.lanes, "lane {lane} out of {}", self.lanes);
+        (self.error_lanes >> lane) & 1 == 1
+    }
+
+    /// Settle time of lane `lane` in picoseconds.
+    pub fn settle_ps(&self, lane: usize) -> f64 {
+        assert!(lane < self.lanes, "lane {lane} out of {}", self.lanes);
+        ticks_to_ps(self.settle_ticks[lane])
+    }
+
+    /// Net transitions applied in lane `lane`, glitches included.
+    pub fn transitions(&self, lane: usize) -> u64 {
+        assert!(lane < self.lanes, "lane {lane} out of {}", self.lanes);
+        self.transitions[lane]
+    }
+
+    /// The scalar [`StepOutcome`] lane `lane` would have produced —
+    /// bit-identical to stepping a [`crate::TimedSimulator`] through the
+    /// same stimulus stream.
+    pub fn outcome_for_lane(&self, lane: usize) -> StepOutcome {
+        assert!(lane < self.lanes, "lane {lane} out of {}", self.lanes);
+        let pick = |words: &[u64]| -> Vec<bool> {
+            words.iter().map(|&w| (w >> lane) & 1 == 1).collect()
+        };
+        StepOutcome {
+            sampled: pick(&self.sampled_words),
+            settled: pick(&self.settled_words),
+            timing_error: self.timing_error(lane),
+            settle_ps: ticks_to_ps(self.settle_ticks[lane]),
+            transitions: self.transitions[lane],
+        }
+    }
+}
+
+/// Lane-parallel event-driven simulator with per-net transport delays on
+/// the femtosecond tick grid.
+///
+/// Feed it either one logical stream in 64-vector chunks
+/// ([`step_stream_batch`](Self::step_stream_batch) — what
+/// [`measure_errors`](crate::measure_errors) and timed activity extraction
+/// use) or 64 persistent independent streams
+/// ([`step_streams`](Self::step_streams) — what the DCT pipeline's block
+/// batching uses). The first call picks the mode; mixing modes on one
+/// instance panics.
+#[derive(Debug)]
+pub struct PackedTimedSimulator<'nl> {
+    netlist: &'nl Netlist,
+    /// Per-gate function, flattened for cache-friendly dispatch.
+    functions: Vec<CellFunction>,
+    /// Per-gate topological level, flattened from the [`Schedule`].
+    gate_level: Vec<u32>,
+    /// Flattened gate connectivity: gate *g* reads the nets
+    /// `gate_inputs[input_offsets[g]..input_offsets[g + 1]]` and drives
+    /// `gate_outputs[output_offsets[g]..output_offsets[g + 1]]`.
+    gate_inputs: Vec<u32>,
+    input_offsets: Vec<u32>,
+    gate_outputs: Vec<u32>,
+    output_offsets: Vec<u32>,
+    /// Per-net transport delay in ticks.
+    delays_ticks: Vec<u64>,
+    /// Per-net fanout gate ids.
+    fanout: Vec<Vec<u32>>,
+    /// Current lane word of every net.
+    values: Vec<u64>,
+    /// Most recently scheduled lane word per net, for per-lane event
+    /// suppression.
+    scheduled: Vec<u64>,
+    /// Event calendar: tick → groups scheduled for that instant. A flat
+    /// hash map (O(1) scheduling) paired with `tick_heap` for ordered
+    /// draining — measurably faster than a `BTreeMap` calendar, whose
+    /// node traffic dominated the profile.
+    queue: HashMap<u64, Vec<EventGroup>, TickHasherBuilder>,
+    /// Min-heap of the distinct ticks present in `queue` (each exactly
+    /// once: pushed only when its map entry is created).
+    tick_heap: BinaryHeap<Reverse<u64>>,
+    /// Recycled per-tick group buffers: the calendar would otherwise
+    /// allocate and free one `Vec` per distinct event instant.
+    free_groups: Vec<Vec<EventGroup>>,
+    /// Functional reference for stream initialization.
+    golden: PackedEvaluator<'nl>,
+    /// Scratch: settled lane words of the latest golden evaluation.
+    settled_net: Vec<u64>,
+    /// Last-lane settled bit per net from the previous batch (stream-batch
+    /// mode): lane 0 of the next batch starts from this state.
+    prev_bits: Vec<u64>,
+    mode: Option<Mode>,
+    /// Lane count pinned by the first `step_streams` call.
+    stream_lanes: usize,
+    started: bool,
+    /// Dirty gates of the current tick, bucketed by topological level:
+    /// draining the buckets in order yields levelized evaluation without
+    /// a per-tick sort (which dominated the profile on small components).
+    level_buckets: Vec<Vec<u32>>,
+    dirty_stamp: Vec<u64>,
+    dirty_epoch: u64,
+    /// Cumulative per-net transition counts across all lanes.
+    transition_counts: Vec<u64>,
+    /// Per-lane scratch for the current step.
+    settle_ticks: [u64; LANES],
+    step_transitions: [u64; LANES],
+    /// Event groups applied since construction (observability).
+    groups_applied: u64,
+}
+
+impl<'nl> PackedTimedSimulator<'nl> {
+    /// Prepares a packed timed simulator; delays are validated and
+    /// quantized exactly like [`crate::TimedSimulator::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists and
+    /// [`NetlistError::InvalidDelay`] for NaN/negative/non-finite delays.
+    pub fn new(netlist: &'nl Netlist, delays: &NetDelays) -> Result<Self, NetlistError> {
+        let delays_ticks = quantize_delays(delays)?;
+        let golden = PackedEvaluator::new(netlist)?;
+        let schedule = netlist.schedule()?;
+        let functions: Vec<CellFunction> = netlist
+            .gates()
+            .map(|(_, g)| netlist.library().cell(g.cell).function)
+            .collect();
+        let mut gate_level = Vec::with_capacity(netlist.gate_count());
+        let mut gate_inputs = Vec::new();
+        let mut input_offsets = Vec::with_capacity(netlist.gate_count() + 1);
+        let mut gate_outputs = Vec::new();
+        let mut output_offsets = Vec::with_capacity(netlist.gate_count() + 1);
+        input_offsets.push(0);
+        output_offsets.push(0);
+        for (id, g) in netlist.gates() {
+            gate_level.push(schedule.level(id));
+            gate_inputs.extend(g.inputs.iter().map(|n| n.raw()));
+            input_offsets.push(gate_inputs.len() as u32);
+            gate_outputs.extend(g.outputs.iter().map(|n| n.raw()));
+            output_offsets.push(gate_outputs.len() as u32);
+        }
+        let fanout = netlist
+            .fanout()
+            .into_iter()
+            .map(|sinks| sinks.into_iter().map(|(g, _)| g.raw()).collect())
+            .collect();
+        Ok(Self {
+            netlist,
+            functions,
+            gate_level,
+            gate_inputs,
+            input_offsets,
+            gate_outputs,
+            output_offsets,
+            delays_ticks,
+            fanout,
+            values: vec![0; netlist.net_count()],
+            scheduled: vec![0; netlist.net_count()],
+            queue: HashMap::default(),
+            tick_heap: BinaryHeap::new(),
+            free_groups: Vec::new(),
+            golden,
+            settled_net: vec![0; netlist.net_count()],
+            prev_bits: vec![0; netlist.net_count()],
+            mode: None,
+            stream_lanes: 0,
+            started: false,
+            level_buckets: vec![Vec::new(); schedule.level_count() as usize],
+            dirty_stamp: vec![0; netlist.gate_count()],
+            dirty_epoch: 0,
+            transition_counts: vec![0; netlist.net_count()],
+            settle_ticks: [0; LANES],
+            step_transitions: [0; LANES],
+            groups_applied: 0,
+        })
+    }
+
+    /// Number of primary inputs expected per stimulus vector.
+    pub fn input_count(&self) -> usize {
+        self.netlist.inputs().len()
+    }
+
+    /// Cumulative per-net transition counts summed over all lanes —
+    /// indexed by net id, glitches included, the packed twin of
+    /// [`crate::TimedSimulator::transition_counts`].
+    pub fn transition_counts(&self) -> &[u64] {
+        &self.transition_counts
+    }
+
+    /// Current lane word of every net (settled after a completed step).
+    pub fn net_words(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Simulates the next chunk of one logical stimulus stream: vector *l*
+    /// of `batch` lands in lane *l*, and lane *l* starts from the settled
+    /// state of the stream's previous vector (lane *l − 1*, or the last
+    /// lane of the previous batch). Per lane this is bit-identical to
+    /// stepping a scalar [`crate::TimedSimulator`] through the same stream
+    /// — including the scalar engine's untimed first step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates width mismatches.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or oversized batch, or if this simulator already
+    /// ran in [`step_streams`](Self::step_streams) mode.
+    pub fn step_stream_batch(
+        &mut self,
+        batch: &[Vec<bool>],
+        clock_ps: f64,
+    ) -> Result<PackedStepOutcome, NetlistError> {
+        assert_ne!(
+            self.mode,
+            Some(Mode::Streams),
+            "one PackedTimedSimulator cannot mix stream-batch and streams modes"
+        );
+        self.mode = Some(Mode::StreamBatch);
+        let lanes = batch.len();
+        assert!(
+            (1..=LANES).contains(&lanes),
+            "batch of {lanes} vectors (expected 1..={LANES})"
+        );
+        let mask = lane_mask(lanes);
+        // One functional walk gives the settled state of every lane; the
+        // per-lane *previous* state is the settled state one lane earlier.
+        self.golden.eval_batch(batch)?;
+        self.settled_net.copy_from_slice(self.golden.net_words());
+        if !self.started {
+            // Lane 0 of the very first batch starts from its own settled
+            // state: zero input transitions, reproducing the scalar
+            // engine's untimed first step.
+            for (prev, &w) in self.prev_bits.iter_mut().zip(&self.settled_net) {
+                *prev = w & 1;
+            }
+            self.started = true;
+        }
+        for i in 0..self.values.len() {
+            let shifted = (self.settled_net[i] << 1) | self.prev_bits[i];
+            self.values[i] = shifted;
+            self.scheduled[i] = shifted;
+        }
+        // Input transitions at t = 0 (per-lane suppressed against the
+        // shifted previous state).
+        for &net in self.netlist.inputs() {
+            let target = self.settled_net[net.index()];
+            self.schedule_event(net.raw(), target, mask, 0);
+        }
+        let outcome = self.run(ps_to_ticks(clock_ps), mask, lanes);
+        // Chain the stream: the next batch's lane 0 follows this batch's
+        // last lane.
+        for (prev, &w) in self.prev_bits.iter_mut().zip(&self.settled_net) {
+            *prev = (w >> (lanes - 1)) & 1;
+        }
+        Ok(outcome)
+    }
+
+    /// Simulates one clock cycle of up to 64 *independent* streams: lane
+    /// *l* keeps its own settled state across calls, so each lane is
+    /// bit-identical to a dedicated scalar simulator stepping that lane's
+    /// own stimulus sequence. The first call fixes the lane count and, like
+    /// the scalar engine, settles functionally without timing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates width mismatches.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or oversized batch, a lane count differing from
+    /// the first call's, or if this simulator already ran in
+    /// [`step_stream_batch`](Self::step_stream_batch) mode.
+    pub fn step_streams(
+        &mut self,
+        batch: &[Vec<bool>],
+        clock_ps: f64,
+    ) -> Result<PackedStepOutcome, NetlistError> {
+        assert_ne!(
+            self.mode,
+            Some(Mode::StreamBatch),
+            "one PackedTimedSimulator cannot mix stream-batch and streams modes"
+        );
+        self.mode = Some(Mode::Streams);
+        let lanes = batch.len();
+        assert!(
+            (1..=LANES).contains(&lanes),
+            "batch of {lanes} vectors (expected 1..={LANES})"
+        );
+        let mask = lane_mask(lanes);
+        if !self.started {
+            self.stream_lanes = lanes;
+            self.golden.eval_batch(batch)?;
+            self.values.copy_from_slice(self.golden.net_words());
+            self.scheduled.copy_from_slice(&self.values);
+            self.started = true;
+            let settled = self.snapshot_output_words();
+            return Ok(PackedStepOutcome {
+                lanes,
+                sampled_words: settled.clone(),
+                settled_words: settled,
+                error_lanes: 0,
+                settle_ticks: vec![0; lanes],
+                transitions: vec![0; lanes],
+            });
+        }
+        assert_eq!(
+            lanes, self.stream_lanes,
+            "streams mode pins the lane count at the first call"
+        );
+        let expected = self.input_count();
+        for vector in batch {
+            if vector.len() != expected {
+                return Err(NetlistError::InputWidthMismatch {
+                    expected,
+                    provided: vector.len(),
+                });
+            }
+        }
+        for (pos, &net) in self.netlist.inputs().iter().enumerate() {
+            let mut word = 0u64;
+            for (lane, vector) in batch.iter().enumerate() {
+                word |= u64::from(vector[pos]) << lane;
+            }
+            self.schedule_event(net.raw(), word, mask, 0);
+        }
+        Ok(self.run(ps_to_ticks(clock_ps), mask, lanes))
+    }
+
+    /// Resets to the uninitialized state (either mode may follow),
+    /// clearing transition counters.
+    pub fn reset(&mut self) {
+        self.queue.clear();
+        self.tick_heap.clear();
+        self.mode = None;
+        self.started = false;
+        self.stream_lanes = 0;
+        for count in &mut self.transition_counts {
+            *count = 0;
+        }
+    }
+
+    fn schedule_event(&mut self, net: u32, values: u64, mask: u64, time: u64) {
+        let slot = &mut self.scheduled[net as usize];
+        let changed = (*slot ^ values) & mask;
+        if changed == 0 {
+            return;
+        }
+        *slot = (*slot & !changed) | (values & changed);
+        let group = EventGroup {
+            net,
+            values: *slot,
+            mask: changed,
+        };
+        match self.queue.entry(time) {
+            hash_map::Entry::Occupied(mut entry) => entry.get_mut().push(group),
+            hash_map::Entry::Vacant(entry) => {
+                let mut groups = self.free_groups.pop().unwrap_or_default();
+                groups.push(group);
+                entry.insert(groups);
+                self.tick_heap.push(Reverse(time));
+            }
+        }
+    }
+
+    /// Re-evaluates `gate` for all lanes and schedules per-lane output
+    /// changes one per-net delay later. Lanes whose inputs did not change
+    /// recompute their already-scheduled value and are suppressed, so extra
+    /// lane evaluations are no-ops — the key to scalar equivalence.
+    fn evaluate_gate(&mut self, gate: u32, now: u64, active_mask: u64) {
+        let g = gate as usize;
+        let function = self.functions[g];
+        let in_range = self.input_offsets[g] as usize..self.input_offsets[g + 1] as usize;
+        let inputs = &self.gate_inputs[in_range];
+        let mut in_buf = [0u64; MAX_INPUTS];
+        for (slot, &net) in in_buf.iter_mut().zip(inputs) {
+            *slot = self.values[net as usize];
+        }
+        let mut out_buf = [0u64; MAX_OUTPUTS];
+        function.eval_words(&in_buf[..inputs.len()], &mut out_buf);
+        let out_range = self.output_offsets[g] as usize..self.output_offsets[g + 1] as usize;
+        for (pin, out_idx) in out_range.enumerate() {
+            let out_net = self.gate_outputs[out_idx];
+            let delay = self.delays_ticks[out_net as usize];
+            self.schedule_event(out_net, out_buf[pin], active_mask, now.saturating_add(delay));
+        }
+    }
+
+    /// Drains the event calendar, sampling outputs at `clock_ticks` with
+    /// the same edge-exclusive rule as the scalar engine.
+    fn run(&mut self, clock_ticks: u64, active_mask: u64, lanes: usize) -> PackedStepOutcome {
+        self.settle_ticks[..lanes].fill(0);
+        let mut sampled: Option<Vec<u64>> = None;
+        // Per-lane transition totals as bit-sliced vertical counters:
+        // plane *i* holds bit *i* of every lane's count, so accumulating
+        // one group is a short ripple-carry over whole words instead of a
+        // loop over its set lanes.
+        let mut trans_planes = [0u64; 24];
+        while let Some(Reverse(now)) = self.tick_heap.pop() {
+            // Sample *before* applying this instant's batch: an arrival
+            // exactly on the clock edge has zero setup margin.
+            if sampled.is_none() && now >= clock_ticks {
+                sampled = Some(self.snapshot_output_words());
+            }
+            let mut groups = self.queue.remove(&now).expect("popped tick has groups");
+            self.dirty_epoch += 1;
+            let epoch = self.dirty_epoch;
+            let mut tick_changed = 0u64;
+            for group in &groups {
+                let net = group.net as usize;
+                let changed = (self.values[net] ^ group.values) & group.mask;
+                if changed == 0 {
+                    continue;
+                }
+                self.values[net] = (self.values[net] & !changed) | (group.values & changed);
+                self.transition_counts[net] += u64::from(changed.count_ones());
+                self.groups_applied += 1;
+                tick_changed |= changed;
+                let mut carry = changed;
+                for plane in &mut trans_planes {
+                    if carry == 0 {
+                        break;
+                    }
+                    let next = *plane & carry;
+                    *plane ^= carry;
+                    carry = next;
+                }
+                debug_assert_eq!(carry, 0, "per-lane transition count overflow");
+                for &gate in &self.fanout[net] {
+                    if self.dirty_stamp[gate as usize] != epoch {
+                        self.dirty_stamp[gate as usize] = epoch;
+                        self.level_buckets[self.gate_level[gate as usize] as usize].push(gate);
+                    }
+                }
+            }
+            // Ticks are processed in order, so `now` is each lane's
+            // settle-time maximum.
+            let mut bits = tick_changed;
+            while bits != 0 {
+                let lane = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.settle_ticks[lane] = now;
+            }
+            groups.clear();
+            self.free_groups.push(groups);
+            // Evaluate one instant's gates in levelized order: within a
+            // tick the order cannot change results (evaluations only read
+            // this tick's fully-applied `values` and schedule future
+            // events), and draining per-level buckets gives that order
+            // deterministically without a per-tick sort.
+            let mut buckets = std::mem::take(&mut self.level_buckets);
+            for bucket in &mut buckets {
+                for &gate in bucket.iter() {
+                    self.evaluate_gate(gate, now, active_mask);
+                }
+                bucket.clear();
+            }
+            self.level_buckets = buckets;
+        }
+        for (lane, count) in self.step_transitions[..lanes].iter_mut().enumerate() {
+            let mut total = 0u64;
+            for (i, &plane) in trans_planes.iter().enumerate() {
+                total |= ((plane >> lane) & 1) << i;
+            }
+            *count = total;
+        }
+        let settled = self.snapshot_output_words();
+        let sampled = sampled.unwrap_or_else(|| settled.clone());
+        let mut error_lanes = 0u64;
+        for (&s, &g) in sampled.iter().zip(&settled) {
+            error_lanes |= (s ^ g) & active_mask;
+        }
+        aix_obs::count!(
+            aix_obs::names::sim::TIMED_EVENT_GROUPS,
+            groups = self.groups_applied,
+            lanes = lanes
+        );
+        PackedStepOutcome {
+            lanes,
+            sampled_words: sampled,
+            settled_words: settled,
+            error_lanes,
+            settle_ticks: self.settle_ticks[..lanes].to_vec(),
+            transitions: self.step_transitions[..lanes].to_vec(),
+        }
+    }
+
+    fn snapshot_output_words(&self) -> Vec<u64> {
+        self.netlist
+            .outputs()
+            .iter()
+            .map(|(_, n)| self.values[n.index()])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TimedSimulator, UniformOperands};
+    use aix_arith::{build_adder, AdderKind, ComponentSpec};
+    use aix_cells::Library;
+    use aix_sta::{analyze, NetDelays};
+    use crate::OperandSource;
+
+    fn adder(kind: AdderKind, width: usize) -> Netlist {
+        let lib = std::sync::Arc::new(Library::nangate45_like());
+        build_adder(&lib, kind, ComponentSpec::full(width)).unwrap()
+    }
+
+    fn assert_stream_matches_scalar(
+        nl: &Netlist,
+        delays: &NetDelays,
+        clock_ps: f64,
+        vectors: Vec<Vec<bool>>,
+    ) {
+        let mut scalar = TimedSimulator::new(nl, delays).unwrap();
+        let mut packed = PackedTimedSimulator::new(nl, delays).unwrap();
+        let mut scalar_outcomes = Vec::new();
+        for v in &vectors {
+            scalar_outcomes.push(scalar.step(v, clock_ps).unwrap());
+        }
+        let mut lane = 0;
+        for chunk in vectors.chunks(LANES) {
+            let out = packed.step_stream_batch(chunk, clock_ps).unwrap();
+            for l in 0..chunk.len() {
+                assert_eq!(
+                    out.outcome_for_lane(l),
+                    scalar_outcomes[lane],
+                    "vector {lane} diverged"
+                );
+                lane += 1;
+            }
+        }
+        assert_eq!(
+            packed.transition_counts(),
+            scalar.transition_counts(),
+            "per-net transition totals diverged"
+        );
+    }
+
+    #[test]
+    fn stream_batches_match_scalar_fresh() {
+        let nl = adder(AdderKind::RippleCarry, 8);
+        let delays = NetDelays::fresh(&nl);
+        let clock = analyze(&nl, &delays).unwrap().max_delay_ps() * 0.4;
+        let vectors: Vec<Vec<bool>> = UniformOperands::new(8, 11).vectors(200).collect();
+        assert_stream_matches_scalar(&nl, &delays, clock, vectors);
+    }
+
+    #[test]
+    fn stream_batches_match_scalar_aged() {
+        use aix_aging::{AgingModel, AgingScenario, Lifetime};
+        let nl = adder(AdderKind::KoggeStone, 16);
+        let fresh = NetDelays::fresh(&nl);
+        let clock = analyze(&nl, &fresh).unwrap().max_delay_ps();
+        let aged = NetDelays::aged(
+            &nl,
+            &AgingModel::calibrated(),
+            AgingScenario::worst_case(Lifetime::from_years(20.0)),
+        );
+        let vectors: Vec<Vec<bool>> = UniformOperands::new(16, 13).vectors(320).collect();
+        assert_stream_matches_scalar(&nl, &aged, clock, vectors);
+    }
+
+    #[test]
+    fn lane_tail_counts_match_scalar() {
+        let nl = adder(AdderKind::CarrySelect, 8);
+        let delays = NetDelays::fresh(&nl);
+        let clock = analyze(&nl, &delays).unwrap().max_delay_ps() * 0.3;
+        for count in [1usize, 63, 64, 65] {
+            let vectors: Vec<Vec<bool>> =
+                UniformOperands::new(8, count as u64).vectors(count).collect();
+            assert_stream_matches_scalar(&nl, &delays, clock, vectors);
+        }
+    }
+
+    #[test]
+    fn streams_mode_matches_per_lane_scalars() {
+        // Three independent streams, one scalar simulator each.
+        let nl = adder(AdderKind::RippleCarry, 4);
+        let delays = NetDelays::fresh(&nl);
+        let clock = analyze(&nl, &delays).unwrap().max_delay_ps() * 0.5;
+        let streams: Vec<Vec<Vec<bool>>> = (0..3u64)
+            .map(|s| UniformOperands::new(4, 100 + s).vectors(40).collect())
+            .collect();
+        let mut scalars: Vec<TimedSimulator> = (0..3)
+            .map(|_| TimedSimulator::new(&nl, &delays).unwrap())
+            .collect();
+        let mut packed = PackedTimedSimulator::new(&nl, &delays).unwrap();
+        for step in 0..40 {
+            let batch: Vec<Vec<bool>> = streams.iter().map(|s| s[step].clone()).collect();
+            let out = packed.step_streams(&batch, clock).unwrap();
+            for (lane, scalar) in scalars.iter_mut().enumerate() {
+                let expect = scalar.step(&streams[lane][step], clock).unwrap();
+                assert_eq!(out.outcome_for_lane(lane), expect, "step {step} lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn mode_mixing_panics() {
+        let nl = adder(AdderKind::RippleCarry, 4);
+        let delays = NetDelays::fresh(&nl);
+        let mut sim = PackedTimedSimulator::new(&nl, &delays).unwrap();
+        let batch: Vec<Vec<bool>> = UniformOperands::new(4, 1).vectors(2).collect();
+        sim.step_streams(&batch, 100.0).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = sim.step_stream_batch(&batch, 100.0);
+        }));
+        assert!(result.is_err(), "mixing modes must panic");
+    }
+
+    #[test]
+    fn invalid_delays_rejected_like_scalar() {
+        let nl = adder(AdderKind::RippleCarry, 4);
+        let mut raw = NetDelays::fresh(&nl).as_slice().to_vec();
+        raw[2] = f64::NAN;
+        assert!(matches!(
+            PackedTimedSimulator::new(&nl, &NetDelays::from_raw(raw)),
+            Err(NetlistError::InvalidDelay { .. })
+        ));
+    }
+
+    #[test]
+    fn reset_allows_mode_switch() {
+        let nl = adder(AdderKind::RippleCarry, 4);
+        let delays = NetDelays::fresh(&nl);
+        let mut sim = PackedTimedSimulator::new(&nl, &delays).unwrap();
+        let batch: Vec<Vec<bool>> = UniformOperands::new(4, 2).vectors(3).collect();
+        sim.step_streams(&batch, 100.0).unwrap();
+        sim.reset();
+        assert!(sim.transition_counts().iter().all(|&c| c == 0));
+        sim.step_stream_batch(&batch, 100.0).unwrap();
+    }
+}

@@ -242,11 +242,13 @@ commands:
   help                            show this message
 
 global flags (any command):
-  --sim-engine scalar|packed      functional simulation engine for value-mode
+  --sim-engine scalar|packed      simulation engine for value-mode AND timed
                                   runs (error rates, activity, fault coverage;
                                   also AIX_SIM_ENGINE). packed evaluates 64
-                                  vectors per word and is the default; both
-                                  engines produce byte-identical results
+                                  vectors per word — for timed runs through
+                                  one shared event calendar — and is the
+                                  default; both engines produce byte-identical
+                                  results
   --trace[=FILE]                  record a structured JSONL event trace
                                   (default out/trace/run-<ts>-<pid>.jsonl;
                                   also AIX_TRACE=1|PATH). Set

@@ -1,8 +1,11 @@
 //! Differential conformance: the scalar and packed simulation engines must
 //! produce *identical* results — same `ErrorStats` (including the f64
-//! fields, bit for bit), same `Activity`, same `FaultCoverage` — for every
-//! library component shape, at vector counts that exercise full words,
-//! partial words and the scalar tail.
+//! fields, bit for bit), same `Activity`, same `FaultCoverage`, and for
+//! the timed engines the same per-vector `StepOutcome` (sampled/settled
+//! outputs, timing-error flag, settle time, transitions) and per-net
+//! transition counters — for every library component shape, fresh and
+//! aged, at vector counts that exercise full words, partial words and the
+//! scalar tail.
 
 use aix::aging::{AgingModel, AgingScenario, Lifetime};
 use aix::arith::{
@@ -11,8 +14,8 @@ use aix::arith::{
 use aix::cells::Library;
 use aix::netlist::Netlist;
 use aix::sim::{
-    full_fault_list, measure_errors_with, simulate_faults_with, Activity, OperandSource,
-    SimEngine, UniformOperands,
+    collect_timed_activity_with, full_fault_list, measure_errors_with, simulate_faults_with,
+    Activity, OperandSource, PackedTimedSimulator, SimEngine, TimedSimulator, UniformOperands,
 };
 use aix::sta::{analyze, NetDelays};
 use std::sync::Arc;
@@ -146,6 +149,164 @@ fn word_boundary_vector_counts_agree() {
     for (index, count) in [1usize, 63, 64, 65, 1000].into_iter().enumerate() {
         let vectors = stimuli(&netlist, count, 200 + index as u64);
         assert_engines_agree(&format!("adder-8 x{count}"), &netlist, &vectors);
+    }
+}
+
+/// Asserts the packed timed engine reproduces the scalar engine *per
+/// vector*: every lane's sampled/settled outputs, timing-error flag,
+/// settle time and transition count, plus the cumulative per-net
+/// transition counters at the end of the stream.
+fn assert_timed_engines_agree(
+    name: &str,
+    netlist: &Netlist,
+    delays: &NetDelays,
+    clock_ps: f64,
+    vectors: &[Vec<bool>],
+) {
+    let mut scalar = TimedSimulator::new(netlist, delays).expect("scalar timed simulator");
+    let mut packed = PackedTimedSimulator::new(netlist, delays).expect("packed timed simulator");
+    let mut index = 0usize;
+    for batch in vectors.chunks(aix::sim::LANES) {
+        let outcome = packed
+            .step_stream_batch(batch, clock_ps)
+            .expect("packed timed step");
+        for (lane, vector) in batch.iter().enumerate() {
+            let expected = scalar.step(vector, clock_ps).expect("scalar timed step");
+            assert_eq!(
+                outcome.outcome_for_lane(lane),
+                expected,
+                "{name}: vector {index} (lane {lane}) diverges"
+            );
+            index += 1;
+        }
+    }
+    assert_eq!(
+        scalar.transition_counts(),
+        packed.transition_counts(),
+        "{name}: per-net transition counts diverge over {} vectors",
+        vectors.len()
+    );
+}
+
+/// Timed differential: adders of every architecture plus a multiplier,
+/// fresh and aged (10 and 20 years), must agree per vector between the
+/// scalar and packed event-driven engines.
+#[test]
+fn timed_engines_agree_per_vector_fresh_and_aged() {
+    let lib = cells();
+    let components = [
+        (
+            "adder-8 (ripple)",
+            build_adder(&lib, AdderKind::RippleCarry, ComponentSpec::full(8)).unwrap(),
+            400,
+        ),
+        (
+            "adder-16 (carry-select)",
+            build_adder(&lib, AdderKind::CarrySelect, ComponentSpec::full(16)).unwrap(),
+            400,
+        ),
+        (
+            "adder-16 (kogge-stone)",
+            build_adder(&lib, AdderKind::KoggeStone, ComponentSpec::full(16)).unwrap(),
+            400,
+        ),
+        (
+            "multiplier-8 (array)",
+            build_multiplier(&lib, MultiplierKind::Array, ComponentSpec::full(8)).unwrap(),
+            200,
+        ),
+    ];
+    let model = AgingModel::calibrated();
+    for (index, (name, netlist, count)) in components.iter().enumerate() {
+        let vectors = stimuli(netlist, *count, 300 + index as u64);
+        let clock = analyze(netlist, &NetDelays::fresh(netlist))
+            .expect("acyclic netlist")
+            .max_delay_ps();
+        let delay_sets = [
+            ("fresh", NetDelays::fresh(netlist)),
+            (
+                "10y worst",
+                NetDelays::aged(
+                    netlist,
+                    &model,
+                    AgingScenario::worst_case(Lifetime::YEARS_10),
+                ),
+            ),
+            (
+                "20y worst",
+                NetDelays::aged(
+                    netlist,
+                    &model,
+                    AgingScenario::worst_case(Lifetime::from_years(20.0)),
+                ),
+            ),
+        ];
+        for (condition, delays) in &delay_sets {
+            assert_timed_engines_agree(
+                &format!("{name} {condition}"),
+                netlist,
+                delays,
+                clock,
+                &vectors,
+            );
+        }
+    }
+}
+
+/// Lane-tail vector counts around the 64-lane word boundary for the timed
+/// engine, on an aged netlist so violations are actually in play.
+#[test]
+fn timed_word_boundary_vector_counts_agree() {
+    let lib = cells();
+    let netlist = build_adder(&lib, AdderKind::KoggeStone, ComponentSpec::full(16)).unwrap();
+    let clock = analyze(&netlist, &NetDelays::fresh(&netlist))
+        .expect("acyclic netlist")
+        .max_delay_ps();
+    let delays = NetDelays::aged(
+        &netlist,
+        &AgingModel::calibrated(),
+        AgingScenario::worst_case(Lifetime::YEARS_10),
+    );
+    for (index, count) in [1usize, 63, 64, 65].into_iter().enumerate() {
+        let vectors = stimuli(&netlist, count, 400 + index as u64);
+        assert_timed_engines_agree(
+            &format!("adder-16 x{count}"),
+            &netlist,
+            &delays,
+            clock,
+            &vectors,
+        );
+    }
+}
+
+/// Timed activity (signal probabilities + toggles from the event-driven
+/// engine, glitches included) must agree exactly across engines.
+#[test]
+fn timed_activity_agrees_across_engines() {
+    let lib = cells();
+    let netlist = build_adder(&lib, AdderKind::KoggeStone, ComponentSpec::full(16)).unwrap();
+    let delays = NetDelays::aged(
+        &netlist,
+        &AgingModel::calibrated(),
+        AgingScenario::worst_case(Lifetime::YEARS_10),
+    );
+    for count in [65usize, 500] {
+        let vectors = stimuli(&netlist, count, 500);
+        let scalar = collect_timed_activity_with(
+            &netlist,
+            &delays,
+            vectors.iter().cloned(),
+            SimEngine::Scalar,
+        )
+        .expect("scalar timed activity");
+        let packed = collect_timed_activity_with(
+            &netlist,
+            &delays,
+            vectors.iter().cloned(),
+            SimEngine::Packed,
+        )
+        .expect("packed timed activity");
+        assert_eq!(scalar, packed, "timed Activity diverges over {count} vectors");
     }
 }
 
