@@ -1,0 +1,10 @@
+//! Runs the fleet chaos suite — three in-process `aix serve` replicas
+//! with replica 0 wedged by a `stall` fault — and appends the `fleet:`
+//! hedge/failover/byte-identity record to `out/BENCH_fleet.json`. Pass
+//! `--requests=N` to reshape the load or `--fault=SPEC` to change the
+//! wedge; `--full` runs the 24-request acceptance load.
+
+fn main() {
+    let options = aix_bench::Options::from_env();
+    print!("{}", aix_bench::experiments::fleet::run(&options));
+}

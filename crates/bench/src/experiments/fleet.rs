@@ -1,0 +1,253 @@
+//! The fleet chaos suite: three replicas, one wedged, zero hangs.
+//!
+//! Not a paper figure — this tracks the replicated serving layer. Three
+//! in-process daemons form a fleet; replica 0 is wedged with a pinned
+//! `stall` fault (it accepts every frame — work and probes alike — and
+//! never answers), so the run exercises the full robustness stack:
+//!
+//! - the first calls route to the untried stalled replica, go silent
+//!   past the hedge delay, and are rescued by a hedge to a healthy
+//!   replica (at least one hedge win, deterministically);
+//! - the background prober's status checks against the stalled replica
+//!   time out, trip its breaker, and traffic stops routing there;
+//! - every request reaches a terminal `ok`, and the response bytes are
+//!   identical to a single healthy daemon answering the same campaigns —
+//!   the determinism that makes replication transparent.
+//!
+//! Outcomes, fleet counters, and the byte-identity verdict land as a
+//! `fleet:` record in `out/BENCH_fleet.json`.
+
+use crate::{Options, Table};
+use aix_core::{append_bench_json, default_bench_json_path, EngineOptions};
+use aix_obs::Value;
+use aix_serve::health::HealthConfig;
+use aix_serve::{Client, FleetClient, FleetConfig, Server, ServerConfig};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn request_mix(requests: usize) -> Vec<String> {
+    // Distinct campaigns (no two coalesce) across all three ops, small
+    // widths so the run stays quick even cold.
+    let campaigns = [
+        ("characterize", "adder", 4usize),
+        ("select-precision", "adder", 5),
+        ("characterize", "adder", 6),
+        ("verify", "adder", 4),
+        ("select-precision", "multiplier", 4),
+        ("characterize", "adder", 7),
+    ];
+    (0..requests)
+        .map(|i| {
+            let (op, kind, width) = campaigns[i % campaigns.len()];
+            // seed varies past one full cycle so later laps stay distinct
+            // fingerprints for `verify` while `characterize` laps coalesce
+            // into the daemons' result caches (both paths are interesting).
+            let seed = 7 + (i / campaigns.len()) as u64;
+            format!(
+                "{{\"op\":\"{op}\",\"kind\":\"{kind}\",\"width\":{width},\
+                 \"quick\":true,\"samples\":2,\"seed\":{seed}}}"
+            )
+        })
+        .collect()
+}
+
+fn replica_config(scratch: &Path, index: usize, fault: Option<&str>) -> ServerConfig {
+    let mut engine = EngineOptions::sequential();
+    engine.cache_dir = Some(scratch.join(format!("cache-{index}")));
+    engine.journal_dir = Some(scratch.join(format!("journal-{index}")));
+    engine.resume = true;
+    if let Some(spec) = fault {
+        engine.faults = Some(Arc::new(spec.parse().expect("well-formed fault spec")));
+    }
+    let mut config = ServerConfig::local_default(engine);
+    config.workers = 2;
+    config.queue_cap = 8;
+    config.journal_path = Some(scratch.join(format!("serve-requests-{index}.journal")));
+    config
+}
+
+/// Runs the fleet chaos experiment.
+pub fn run(options: &Options) -> String {
+    let requests = options.scaled("requests", 10, 24);
+    let fault = options.get("fault").unwrap_or("stall:p=1,stage=serve");
+
+    let scratch = std::env::temp_dir().join(format!("aix-exp-fleet-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    // Replica 0 is wedged; 1 and 2 are healthy. Each replica gets its own
+    // cache so byte-identity below is a property of determinism, not of a
+    // shared filesystem.
+    let mut addrs = Vec::new();
+    let mut daemons = Vec::new();
+    let mut drains = Vec::new();
+    for index in 0..3usize {
+        let fault = (index == 0).then_some(fault);
+        let server = Server::bind(replica_config(&scratch, index, fault))
+            .expect("bind a loopback port");
+        addrs.push(server.local_addr().expect("bound address").to_string());
+        // The stalled replica cannot answer a `shutdown` request — its
+        // handler would stall too — so every replica drains in-process.
+        drains.push(server.drain_handle());
+        daemons.push(std::thread::spawn(move || server.run()));
+    }
+
+    // The reference: a fourth, healthy daemon answering the same
+    // campaigns alone.
+    let reference = Server::bind(replica_config(&scratch, 3, None)).expect("bind reference");
+    let reference_addr = reference.local_addr().expect("bound address").to_string();
+    drains.push(reference.drain_handle());
+    daemons.push(std::thread::spawn(move || reference.run()));
+
+    let mut config = FleetConfig::new(addrs.clone());
+    config.connect_timeout_ms = Some(1_000);
+    // A wedged work attempt parks a detached thread this long; keep it
+    // short so the bench does not accumulate minutes of sleeping threads.
+    config.response_timeout = Duration::from_secs(30);
+    config.hedge_floor = Duration::from_millis(100);
+    config.probe_timeout = Duration::from_millis(250);
+    config.health = HealthConfig {
+        failure_threshold: 3,
+        backoff_base_ms: 500,
+        backoff_cap_ms: 4_000,
+        probe_interval: Duration::from_millis(100),
+    };
+    // Early calls all have the stalled replica as primary (untried ranks
+    // first), so each burns a hedge token until the breaker trips; a
+    // generous burst allowance keeps those hedges admitted. Budget-denial
+    // behavior is unit-tested, not load-tested, here.
+    config.retry_budget_cap = 16.0;
+    config.retry_budget_deposit = 0.5;
+    let fleet = FleetClient::new(config).expect("non-empty fleet");
+
+    let mix = request_mix(requests);
+    let started = Instant::now();
+    let mut latencies_ms = Vec::new();
+    let mut statuses: Vec<String> = Vec::new();
+    let mut fleet_wires = Vec::new();
+    for payload in &mix {
+        let sent = Instant::now();
+        let response = fleet.call(payload).expect("a terminal fleet response");
+        latencies_ms.push(sent.elapsed().as_secs_f64() * 1000.0);
+        statuses.push(response.status().to_owned());
+        fleet_wires.push(response.to_wire());
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+
+    // Byte-identity: the single healthy reference daemon must produce
+    // exactly the bytes the fleet produced, request for request.
+    let mut reference_client =
+        Client::connect(&reference_addr).expect("connect to the reference daemon");
+    reference_client
+        .set_response_timeout(Some(Duration::from_secs(300)))
+        .expect("socket timeout");
+    let mut identical = 0usize;
+    for (payload, fleet_wire) in mix.iter().zip(&fleet_wires) {
+        let reference_wire = reference_client
+            .call(payload)
+            .expect("reference response")
+            .to_wire();
+        assert_eq!(
+            &reference_wire, fleet_wire,
+            "fleet response must be byte-identical to the single-daemon \
+             reference for {payload}"
+        );
+        identical += 1;
+    }
+
+    let stats = fleet.stats();
+    let hedges_fired = stats.hedges_fired.load(std::sync::atomic::Ordering::Relaxed);
+    let hedges_won = stats.hedges_won.load(std::sync::atomic::Ordering::Relaxed);
+    let breaker_trips = stats.breaker_trips.load(std::sync::atomic::Ordering::Relaxed);
+    let failovers = stats.failovers.load(std::sync::atomic::Ordering::Relaxed);
+    let retries_denied = stats.retries_denied.load(std::sync::atomic::Ordering::Relaxed);
+    let probes_failed = stats.probes_failed.load(std::sync::atomic::Ordering::Relaxed);
+    let snapshot = fleet.snapshot_fields();
+    drop(fleet); // stop the prober before draining the replicas
+
+    for drain in &drains {
+        drain.drain();
+    }
+    for daemon in daemons {
+        daemon
+            .join()
+            .expect("daemon thread")
+            .expect("daemon drains cleanly");
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    // The acceptance invariants. Statuses must all be terminal wins (the
+    // stalled replica never answers, so anything reaching a client came
+    // from a healthy one), and the wedge must have been visible: hedges
+    // fired and won, and the prober tripped the stalled replica's breaker.
+    let terminal = statuses.iter().filter(|s| s.as_str() == "ok").count();
+    assert_eq!(
+        terminal, requests,
+        "every request must reach a terminal ok: {statuses:?}"
+    );
+    assert_eq!(identical, requests, "byte-identity must cover every request");
+    assert!(hedges_fired >= 1, "the stalled primary must fire a hedge");
+    assert!(hedges_won >= 1, "a hedge must win against the stalled primary");
+    assert!(
+        breaker_trips >= 1,
+        "probes against the stalled replica must trip its breaker"
+    );
+
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let percentile = |q: f64| -> f64 {
+        latencies_ms[((latencies_ms.len() - 1) as f64 * q).round() as usize]
+    };
+    let (p50, p99) = (percentile(0.50), percentile(0.99));
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fleet — {requests} requests over 3 replicas (replica 0 wedged by \
+         `{fault}`), reference daemon for byte-identity\n"
+    );
+    let mut table = Table::new(&["fleet counter", "value"]);
+    for (key, value) in &snapshot {
+        if !key.starts_with("replica[") {
+            table.row_owned(vec![key.clone(), value.to_string()]);
+        }
+    }
+    out.push_str(&table.render());
+    let _ = writeln!(
+        out,
+        "\nall {requests} requests ok; {identical}/{requests} byte-identical to the \
+         single-daemon reference"
+    );
+    let _ = writeln!(
+        out,
+        "latency p50 {p50:.1} ms, p99 {p99:.1} ms; wall {wall_s:.2} s"
+    );
+
+    let record = aix_obs::render_object(&[
+        ("label", Value::from("fleet: stalled-replica chaos")),
+        ("requests", Value::from(requests)),
+        ("replicas", Value::from(3usize)),
+        ("fault", Value::from(fault)),
+        ("ok", Value::from(terminal)),
+        ("byte_identical", Value::from(identical)),
+        ("hedges_fired", Value::from(hedges_fired as i64)),
+        ("hedges_won", Value::from(hedges_won as i64)),
+        ("breaker_trips", Value::from(breaker_trips as i64)),
+        ("failovers", Value::from(failovers as i64)),
+        ("retries_denied", Value::from(retries_denied as i64)),
+        ("probes_failed", Value::from(probes_failed as i64)),
+        ("p50_ms", Value::Float(p50)),
+        ("p99_ms", Value::Float(p99)),
+        ("wall_s", Value::Float(wall_s)),
+    ]);
+    let path = default_bench_json_path().with_file_name("BENCH_fleet.json");
+    match append_bench_json(&path, record) {
+        Ok(()) => {
+            let _ = writeln!(out, "\nrecord appended to {}", path.display());
+        }
+        Err(e) => {
+            let _ = writeln!(out, "\n(could not append {}: {e})", path.display());
+        }
+    }
+    out
+}

@@ -6,9 +6,12 @@ use std::io;
 use std::path::Path;
 
 /// Writes `text` to `path` atomically: the bytes land in a temp file in the
-/// same directory (created if absent) which is then renamed over the
-/// target, so a killed or concurrent run can never leave a truncated file
-/// behind — readers observe either the old contents or the new ones.
+/// same directory (created if absent), are fsynced, and the temp is then
+/// renamed over the target, so neither a killed run nor a power loss can
+/// leave a truncated file behind — readers observe either the old contents
+/// or the new ones. (Without the fsync, a crash after the rename could
+/// expose a renamed-but-empty file on filesystems that reorder data and
+/// metadata writes.)
 ///
 /// Injected `shortwrite`/`enospc` faults from the process-wide `AIX_FAULT`
 /// plan (stage `cache`, the persistence path) are emulated faithfully
@@ -60,7 +63,12 @@ pub fn write_atomic_under(
             None => {}
         }
     }
-    std::fs::write(&tmp, text)?;
+    {
+        use std::io::Write;
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(text.as_bytes())?;
+        file.sync_all()?;
+    }
     std::fs::rename(&tmp, path)
 }
 

@@ -228,7 +228,7 @@ impl JobGuard {
 /// of stampeding in lockstep at the same exponential instants. A `cap` of
 /// `0` leaves the growth uncapped. Pure: the same
 /// `(base, cap, prev, site, attempt)` always yields the same delay.
-pub(crate) fn decorrelated_backoff_ms(
+pub fn decorrelated_backoff_ms(
     base: u64,
     cap: u64,
     prev: u64,

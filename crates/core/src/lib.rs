@@ -72,7 +72,7 @@ pub use engine::{
     EngineOptions, EngineReport, JobFailure, NetlistCache, FAULT_GRAMMAR,
 };
 pub use error::AixError;
-pub use guard::panic_message;
+pub use guard::{decorrelated_backoff_ms, panic_message};
 pub use idct::{idct_design, IDCT_BLOCK_NAMES};
 pub use library::{ApproxLibrary, ParseLibraryError};
 pub use microarch::{

@@ -1,0 +1,115 @@
+//! The retry token budget: a bound on how much extra load the fleet
+//! client may generate on top of its primary requests.
+//!
+//! Hedges and failovers are *retries* from the fleet's point of view:
+//! each one puts a second copy of a campaign in front of some replica.
+//! Under an overload that the daemons' bounded queues are already
+//! shedding, unbudgeted retries amplify the very load the shedding is
+//! trying to relieve — every shed request immediately becomes another
+//! request. The budget caps that amplification: each *primary* call
+//! deposits a fraction of a token, each hedge or failover withdraws a
+//! whole one, so sustained retry traffic is bounded to `deposit` × the
+//! primary request rate (10 % by default) plus a small burst allowance
+//! (`cap`). A healthy fleet rarely touches the bucket; a melting-down
+//! fleet drains it and degrades to plain single-attempt calls — exactly
+//! the deterministic, bounded degradation the paper's thesis asks of the
+//! aging hardware itself.
+//!
+//! The bucket is deliberately *time-free*: tokens come only from primary
+//! calls, never from elapsed wall-clock, so a call sequence replays to
+//! the same admit/deny decisions regardless of timing jitter.
+
+use std::sync::Mutex;
+
+/// One token, in the bucket's fixed-point millitoken unit. Fractional
+/// deposits accumulate exactly (no float drift: ten 0.1-token deposits
+/// are precisely one token).
+const MILLI: u64 = 1000;
+
+/// A token bucket refilled by primary calls; see the module docs.
+pub struct RetryBudget {
+    millitokens: Mutex<u64>,
+    cap: u64,
+    deposit: u64,
+}
+
+impl RetryBudget {
+    /// A budget holding at most `cap` tokens (the burst allowance),
+    /// gaining `deposit` tokens per primary call. Starts full, so a
+    /// fresh client can fail over immediately. Both values are clamped
+    /// non-negative and quantized to millitokens.
+    #[must_use]
+    pub fn new(cap: f64, deposit: f64) -> Self {
+        let to_milli = |tokens: f64| (tokens.max(0.0) * MILLI as f64).round() as u64;
+        let cap = to_milli(cap);
+        RetryBudget {
+            millitokens: Mutex::new(cap),
+            cap,
+            deposit: to_milli(deposit),
+        }
+    }
+
+    /// Credits one primary call's deposit (saturating at the cap).
+    pub fn deposit(&self) {
+        let mut tokens = self.millitokens.lock().expect("budget lock poisoned");
+        *tokens = tokens.saturating_add(self.deposit).min(self.cap);
+    }
+
+    /// Tries to withdraw one token for a hedge or failover; `false`
+    /// means the retry is denied and the caller must settle for the
+    /// outcome it already has.
+    pub fn try_withdraw(&self) -> bool {
+        let mut tokens = self.millitokens.lock().expect("budget lock poisoned");
+        if *tokens >= MILLI {
+            *tokens -= MILLI;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The current balance in whole tokens (for status output).
+    #[must_use]
+    pub fn balance(&self) -> f64 {
+        *self.millitokens.lock().expect("budget lock poisoned") as f64 / MILLI as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_starts_full_and_denies_when_drained() {
+        let budget = RetryBudget::new(2.0, 0.1);
+        assert!(budget.try_withdraw());
+        assert!(budget.try_withdraw());
+        assert!(!budget.try_withdraw(), "drained");
+
+        // Ten primary calls rebuild one token.
+        for _ in 0..10 {
+            budget.deposit();
+        }
+        assert!(budget.try_withdraw());
+        assert!(!budget.try_withdraw());
+    }
+
+    #[test]
+    fn deposits_saturate_at_the_cap() {
+        let budget = RetryBudget::new(1.5, 1.0);
+        for _ in 0..100 {
+            budget.deposit();
+        }
+        assert!((budget.balance() - 1.5).abs() < 1e-12);
+        assert!(budget.try_withdraw());
+        assert!(!budget.try_withdraw(), "half a token is not a token");
+    }
+
+    #[test]
+    fn zero_budget_always_denies() {
+        let budget = RetryBudget::new(0.0, 0.0);
+        assert!(!budget.try_withdraw());
+        budget.deposit();
+        assert!(!budget.try_withdraw());
+    }
+}

@@ -1,0 +1,607 @@
+//! The fleet client: a set of `aix serve` replicas behaving as one
+//! reliable service.
+//!
+//! Everything here is *client-side* — daemons don't know they are in a
+//! fleet. What makes that sound is the engine's determinism: a given
+//! campaign fingerprint produces byte-identical responses from every
+//! replica (same code, same content-addressed cache keys), so the fleet
+//! can route, hedge, and fail over freely without ever changing an
+//! answer. The fleet's job is purely to bound *when* the answer arrives:
+//!
+//! - **Routing** ([`FleetClient::call`]): replicas whose breaker is open
+//!   are skipped; the rest are ranked by observed p50 work latency
+//!   (never-tried replicas rank first so fresh capacity gets probed by
+//!   real traffic). All-breakers-open degrades to trying the replica
+//!   whose open interval expires soonest — the fleet never refuses to
+//!   try at all.
+//! - **Hedging** ([`crate::hedge`]): if the primary is silent past its
+//!   own p95 (floored at [`FleetConfig::hedge_floor`]), a duplicate goes
+//!   to the next-ranked replica; first acceptable response wins.
+//! - **Failover**: a primary that fails fast (connection refused, reset,
+//!   or an `overloaded`/`draining` response) moves the call to the next
+//!   candidate.
+//! - **Budget** ([`crate::budget`]): hedges and failovers each charge a
+//!   retry token; an exhausted budget degrades to single-attempt calls
+//!   so retries cannot amplify an overload the daemons are shedding.
+//! - **Health** ([`crate::health`]): a background prober status-checks
+//!   every replica, so dead ones trip their breakers even when no
+//!   requests are flowing, and recovered ones are readmitted via
+//!   half-open trials.
+
+use crate::budget::RetryBudget;
+use crate::client::{connect_timeout, Client};
+use crate::health::{Availability, HealthConfig, ReplicaHealth};
+use crate::hedge::{race, Attempt};
+use crate::protocol::Response;
+use aix_obs::names::fleet as names;
+use aix_obs::Value;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Fleet tuning; [`FleetConfig::new`] fills in the defaults.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Replica addresses, e.g. `["127.0.0.1:4617", "127.0.0.1:4618"]`.
+    pub replicas: Vec<String>,
+    /// Per-attempt TCP connect bound; `None` reads
+    /// `AIX_CONNECT_TIMEOUT_MS` / the library default.
+    pub connect_timeout_ms: Option<u64>,
+    /// Per-attempt response bound. Work calls on a wedged replica return
+    /// `TimedOut` after this, turning a would-be hang into a failover.
+    pub response_timeout: Duration,
+    /// Minimum hedge delay: with no latency history (or a very fast
+    /// p95) the hedge still waits at least this long, so duplicate load
+    /// stays rare on a healthy fleet.
+    pub hedge_floor: Duration,
+    /// Response bound for background `status` probes (small — a healthy
+    /// daemon answers `status` in microseconds).
+    pub probe_timeout: Duration,
+    /// Breaker and probe tuning.
+    pub health: HealthConfig,
+    /// Retry budget burst allowance (tokens).
+    pub retry_budget_cap: f64,
+    /// Retry tokens deposited per primary call.
+    pub retry_budget_deposit: f64,
+    /// Whether to run the background prober thread.
+    pub probe: bool,
+}
+
+impl FleetConfig {
+    /// Defaults for the given replica set: 5 s connect / 120 s response
+    /// bounds, 50 ms hedge floor, 2 s probe bound, a 10-token budget
+    /// refilled at 10 % of the primary rate, prober on.
+    #[must_use]
+    pub fn new(replicas: Vec<String>) -> Self {
+        FleetConfig {
+            replicas,
+            connect_timeout_ms: None,
+            response_timeout: Duration::from_secs(120),
+            hedge_floor: Duration::from_millis(50),
+            probe_timeout: Duration::from_secs(2),
+            health: HealthConfig::default(),
+            retry_budget_cap: 10.0,
+            retry_budget_deposit: 0.1,
+            probe: true,
+        }
+    }
+}
+
+/// Client-side fleet counters (the `fleet.*` vocabulary, also emitted as
+/// trace counters).
+#[derive(Default)]
+pub struct FleetStats {
+    /// Hedge requests dispatched.
+    pub hedges_fired: AtomicU64,
+    /// Hedges whose response won the race.
+    pub hedges_won: AtomicU64,
+    /// Calls moved to another replica after a failed attempt.
+    pub failovers: AtomicU64,
+    /// Breaker trips (opens and re-opens) across all replicas.
+    pub breaker_trips: AtomicU64,
+    /// Half-open trials that closed a breaker.
+    pub breaker_recoveries: AtomicU64,
+    /// Hedges or failovers denied by the retry budget.
+    pub retries_denied: AtomicU64,
+    /// Background probes that failed.
+    pub probes_failed: AtomicU64,
+}
+
+impl FleetStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+struct Replica {
+    addr: String,
+    health: ReplicaHealth,
+}
+
+struct FleetInner {
+    replicas: Vec<Replica>,
+    config: FleetConfig,
+    budget: RetryBudget,
+    stats: FleetStats,
+    stop: AtomicBool,
+}
+
+/// The replicated client; see the module docs.
+pub struct FleetClient {
+    inner: Arc<FleetInner>,
+    prober: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FleetClient {
+    /// Builds the fleet client and starts the background prober (unless
+    /// disabled by `config.probe` or a zero probe interval).
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidInput` for an empty replica set. Unreachable
+    /// replicas are *not* an error here — detecting and routing around
+    /// them is the whole point.
+    pub fn new(config: FleetConfig) -> std::io::Result<FleetClient> {
+        if config.replicas.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "a fleet needs at least one replica address",
+            ));
+        }
+        let replicas = config
+            .replicas
+            .iter()
+            .map(|addr| Replica {
+                addr: addr.trim().to_owned(),
+                health: ReplicaHealth::new(addr.trim(), config.health.clone()),
+            })
+            .collect();
+        let budget = RetryBudget::new(config.retry_budget_cap, config.retry_budget_deposit);
+        let inner = Arc::new(FleetInner {
+            replicas,
+            budget,
+            stats: FleetStats::default(),
+            stop: AtomicBool::new(false),
+            config,
+        });
+        let prober = (inner.config.probe
+            && !inner.config.health.probe_interval.is_zero())
+        .then(|| {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || probe_loop(&inner))
+        });
+        Ok(FleetClient { inner, prober })
+    }
+
+    /// The replica addresses, in configuration order.
+    #[must_use]
+    pub fn replica_addrs(&self) -> Vec<String> {
+        self.inner
+            .replicas
+            .iter()
+            .map(|r| r.addr.clone())
+            .collect()
+    }
+
+    /// The client-side counters.
+    #[must_use]
+    pub fn stats(&self) -> &FleetStats {
+        &self.inner.stats
+    }
+
+    /// Sends one work payload to the fleet: route, hedge, fail over
+    /// until some replica produces a terminal response.
+    ///
+    /// Responses with status `ok`/`partial`/`deadline`/`error` are
+    /// terminal — the daemon *answered*; re-asking another replica of a
+    /// deterministic service would produce the same bytes.
+    /// `overloaded`/`draining` mean "ask someone else" and drive
+    /// failover instead (budget permitting); if every candidate says so,
+    /// the last such response is returned so the caller still sees a
+    /// terminal status and the daemon's `retry_after_ms` hint.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last transport error only when no replica produced
+    /// *any* response (all dead or unreachable).
+    pub fn call(&self, payload: &str) -> std::io::Result<Response> {
+        let span = aix_obs::span!(names::SPAN_CALL, replicas = self.inner.replicas.len());
+        let _span = span;
+        let inner = &self.inner;
+        inner.budget.deposit();
+        let order = inner.route_order();
+        let mut last_rejected: Option<Response> = None;
+        let mut last_error: Option<std::io::Error> = None;
+
+        for (position, &primary) in order.iter().enumerate() {
+            if position > 0 {
+                // Failing over to the next candidate costs a retry token.
+                if !inner.budget.try_withdraw() {
+                    FleetStats::bump(&inner.stats.retries_denied);
+                    aix_obs::count!(names::RETRY_DENIED, at = "failover");
+                    break;
+                }
+                FleetStats::bump(&inner.stats.failovers);
+                aix_obs::count!(
+                    names::FAILOVER,
+                    to = inner.replicas[primary].addr.as_str()
+                );
+            }
+
+            let delay = inner.hedge_delay(primary);
+            let hedge_to = order.get(position + 1).copied();
+            let primary_attempt = attempt(Arc::clone(inner), primary, payload.to_owned());
+            let hedge_attempt =
+                hedge_to.map(|idx| attempt(Arc::clone(inner), idx, payload.to_owned()));
+            let gate = {
+                let inner = Arc::clone(inner);
+                move || inner.budget.try_withdraw()
+            };
+            let outcome = race(primary_attempt, hedge_attempt, delay, is_terminal, gate);
+
+            if outcome.hedge_fired {
+                FleetStats::bump(&inner.stats.hedges_fired);
+                aix_obs::count!(
+                    names::HEDGE_FIRED,
+                    from = inner.replicas[primary].addr.as_str(),
+                    delay_ms = delay.as_millis() as u64
+                );
+            }
+            if outcome.hedge_denied {
+                FleetStats::bump(&inner.stats.retries_denied);
+                aix_obs::count!(names::RETRY_DENIED, at = "hedge");
+            }
+            match outcome.winner {
+                Some((Attempt::Hedge, response)) => {
+                    FleetStats::bump(&inner.stats.hedges_won);
+                    aix_obs::count!(names::HEDGE_WON, status = response.status());
+                    return Ok(response);
+                }
+                Some((Attempt::Primary, response)) => return Ok(response),
+                None => {
+                    if let Some((_, response)) = outcome.rejected {
+                        last_rejected = Some(response);
+                    }
+                    if let Some((_, error)) = outcome.error {
+                        last_error = Some(error);
+                    }
+                }
+            }
+        }
+
+        // Nobody produced a terminal win. A rejected (overloaded/
+        // draining) response is still a terminal protocol answer —
+        // prefer it over a bare transport error.
+        match (last_rejected, last_error) {
+            (Some(response), _) => Ok(response),
+            (None, Some(error)) => Err(error),
+            (None, None) => Err(std::io::Error::other("no replica produced a response")),
+        }
+    }
+
+    /// Per-replica `status` responses (probing each replica directly),
+    /// for fleet-aware `aix serve status`.
+    pub fn replica_statuses(&self) -> Vec<(String, std::io::Result<Response>)> {
+        self.inner
+            .replicas
+            .iter()
+            .map(|replica| {
+                (
+                    replica.addr.clone(),
+                    self.inner.probe_status(&replica.health),
+                )
+            })
+            .collect()
+    }
+
+    /// The client-side fleet snapshot: counters, budget balance, and
+    /// per-replica breaker/latency state.
+    #[must_use]
+    pub fn snapshot_fields(&self) -> Vec<(String, Value)> {
+        let stats = &self.inner.stats;
+        let mut fields: Vec<(String, Value)> = vec![
+            (
+                "replicas".to_owned(),
+                Value::from(self.inner.replicas.len()),
+            ),
+            (
+                "hedges_fired".to_owned(),
+                Value::from(FleetStats::get(&stats.hedges_fired) as i64),
+            ),
+            (
+                "hedges_won".to_owned(),
+                Value::from(FleetStats::get(&stats.hedges_won) as i64),
+            ),
+            (
+                "failovers".to_owned(),
+                Value::from(FleetStats::get(&stats.failovers) as i64),
+            ),
+            (
+                "breaker_trips".to_owned(),
+                Value::from(FleetStats::get(&stats.breaker_trips) as i64),
+            ),
+            (
+                "breaker_recoveries".to_owned(),
+                Value::from(FleetStats::get(&stats.breaker_recoveries) as i64),
+            ),
+            (
+                "retries_denied".to_owned(),
+                Value::from(FleetStats::get(&stats.retries_denied) as i64),
+            ),
+            (
+                "probes_failed".to_owned(),
+                Value::from(FleetStats::get(&stats.probes_failed) as i64),
+            ),
+            (
+                "retry_budget".to_owned(),
+                Value::Float(self.inner.budget.balance()),
+            ),
+        ];
+        for replica in &self.inner.replicas {
+            let state = match replica.health.availability() {
+                Availability::Available => "available",
+                Availability::Trial => "trial",
+                Availability::Open { .. } => "open",
+            };
+            fields.push((
+                format!("replica[{}].state", replica.addr),
+                Value::from(state),
+            ));
+            fields.push((
+                format!("replica[{}].trips", replica.addr),
+                Value::from(replica.health.trips() as i64),
+            ));
+            fields.push((
+                format!("replica[{}].p50_ms", replica.addr),
+                Value::Float(replica.health.percentile_ms(0.50).unwrap_or(0.0)),
+            ));
+            fields.push((
+                format!("replica[{}].p99_ms", replica.addr),
+                Value::Float(replica.health.percentile_ms(0.99).unwrap_or(0.0)),
+            ));
+        }
+        fields
+    }
+}
+
+impl Drop for FleetClient {
+    fn drop(&mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        if let Some(prober) = self.prober.take() {
+            let _ = prober.join();
+        }
+    }
+}
+
+impl FleetInner {
+    /// Candidate order for one call: available (closed or half-open
+    /// trial) replicas ranked by observed p50 — never-tried replicas
+    /// rank *first* (a 0 ms key), so fresh capacity is probed by real
+    /// traffic before the fleet settles on favorites — then open
+    /// replicas by soonest expiry, so an all-open fleet still tries the
+    /// most promising candidate instead of giving up.
+    fn route_order(&self) -> Vec<usize> {
+        let mut available: Vec<(u64, usize)> = Vec::new();
+        let mut open: Vec<(Instant, usize)> = Vec::new();
+        for (index, replica) in self.replicas.iter().enumerate() {
+            match replica.health.availability() {
+                Availability::Available | Availability::Trial => {
+                    let p50_key = replica
+                        .health
+                        .percentile_ms(0.50)
+                        .map_or(0, |ms| (ms * 1000.0) as u64);
+                    available.push((p50_key, index));
+                }
+                Availability::Open { until } => open.push((until, index)),
+            }
+        }
+        available.sort();
+        open.sort();
+        available
+            .into_iter()
+            .map(|(_, index)| index)
+            .chain(open.into_iter().map(|(_, index)| index))
+            .collect()
+    }
+
+    /// The hedge delay for a primary: its observed p95, floored.
+    fn hedge_delay(&self, primary: usize) -> Duration {
+        let p95 = self.replicas[primary]
+            .health
+            .percentile_ms(0.95)
+            .map_or(Duration::ZERO, |ms| Duration::from_secs_f64(ms / 1000.0));
+        p95.max(self.config.hedge_floor)
+    }
+
+    /// One `status` probe against a replica, recording the outcome into
+    /// its health (latency excluded — probes are not work).
+    fn probe_status(&self, health: &ReplicaHealth) -> std::io::Result<Response> {
+        let result = Client::connect_with_timeout(
+            health.addr(),
+            connect_timeout(self.config.connect_timeout_ms),
+        )
+        .and_then(|mut client| {
+            client.set_response_timeout(Some(self.config.probe_timeout))?;
+            client.status()
+        });
+        match &result {
+            Ok(_) => {
+                if health.record_success() {
+                    FleetStats::bump(&self.stats.breaker_recoveries);
+                    aix_obs::count!(names::BREAKER_RECOVERED, addr = health.addr());
+                }
+            }
+            Err(_) => {
+                FleetStats::bump(&self.stats.probes_failed);
+                aix_obs::count!(names::PROBE_FAILED, addr = health.addr());
+                if health.record_failure() {
+                    FleetStats::bump(&self.stats.breaker_trips);
+                    aix_obs::count!(names::BREAKER_TRIP, addr = health.addr());
+                }
+            }
+        }
+        result
+    }
+}
+
+/// Whether a response ends the call. See [`FleetClient::call`].
+fn is_terminal(response: &Response) -> bool {
+    matches!(response.status(), "ok" | "partial" | "deadline" | "error")
+}
+
+/// One work attempt against one replica, as a `'static` closure for
+/// [`race`]: connect, bound the response wait, send, and record the
+/// outcome into the replica's health (so whichever attempt loses the
+/// race still updates health when it eventually resolves).
+fn attempt(
+    inner: Arc<FleetInner>,
+    index: usize,
+    payload: String,
+) -> impl FnOnce() -> std::io::Result<Response> + Send + 'static {
+    move || {
+        let replica = &inner.replicas[index];
+        let started = Instant::now();
+        let result = Client::connect_with_timeout(
+            &replica.addr,
+            connect_timeout(inner.config.connect_timeout_ms),
+        )
+        .and_then(|mut client| {
+            client.set_response_timeout(Some(inner.config.response_timeout))?;
+            client.call(&payload)
+        });
+        match &result {
+            Ok(response) => {
+                if replica.health.record_success() {
+                    FleetStats::bump(&inner.stats.breaker_recoveries);
+                    aix_obs::count!(names::BREAKER_RECOVERED, addr = replica.addr.as_str());
+                }
+                if is_terminal(response) {
+                    let elapsed = started.elapsed();
+                    replica.health.record_latency(elapsed);
+                    aix_obs::gauge!(
+                        names::REPLICA_P50,
+                        replica.health.percentile_ms(0.50).unwrap_or(0.0),
+                        addr = replica.addr.as_str()
+                    );
+                    aix_obs::gauge!(
+                        names::REPLICA_P99,
+                        replica.health.percentile_ms(0.99).unwrap_or(0.0),
+                        addr = replica.addr.as_str()
+                    );
+                }
+            }
+            Err(_) => {
+                if replica.health.record_failure() {
+                    FleetStats::bump(&inner.stats.breaker_trips);
+                    aix_obs::count!(names::BREAKER_TRIP, addr = replica.addr.as_str());
+                }
+            }
+        }
+        result
+    }
+}
+
+/// The background prober: status-checks every routable replica each
+/// interval, so breakers trip and recover even with no request traffic.
+fn probe_loop(inner: &FleetInner) {
+    while !inner.stop.load(Ordering::SeqCst) {
+        for replica in &inner.replicas {
+            if inner.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            // Replicas inside an open interval are left alone — their
+            // availability() transition to a half-open trial *is* the
+            // recovery schedule.
+            if matches!(replica.health.availability(), Availability::Open { .. }) {
+                continue;
+            }
+            let _ = inner.probe_status(&replica.health);
+        }
+        // Sleep the interval in small slices so drop() doesn't wait.
+        let interval = inner.config.health.probe_interval;
+        let slice = Duration::from_millis(25);
+        let mut slept = Duration::ZERO;
+        while slept < interval && !inner.stop.load(Ordering::SeqCst) {
+            let step = slice.min(interval - slept);
+            std::thread::sleep(step);
+            slept += step;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(replicas: &[&str], probe: bool) -> FleetClient {
+        let mut config = FleetConfig::new(replicas.iter().map(|s| (*s).to_owned()).collect());
+        config.probe = probe;
+        config.connect_timeout_ms = Some(300);
+        config.response_timeout = Duration::from_secs(2);
+        FleetClient::new(config).unwrap()
+    }
+
+    #[test]
+    fn empty_fleet_is_rejected() {
+        assert!(FleetClient::new(FleetConfig::new(Vec::new())).is_err());
+    }
+
+    #[test]
+    fn dead_fleet_returns_an_error_not_a_hang() {
+        // Unroutable/refused addresses: every attempt errors quickly and
+        // the call returns the transport error instead of hanging.
+        let fleet = fleet(&["127.0.0.1:1", "127.0.0.1:2"], false);
+        let started = Instant::now();
+        let result = fleet.call("{\"op\":\"status\"}");
+        assert!(result.is_err());
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "refused connections must fail fast"
+        );
+    }
+
+    #[test]
+    fn route_order_prefers_untried_then_fast_replicas() {
+        let fleet = fleet(&["127.0.0.1:11", "127.0.0.1:12", "127.0.0.1:13"], false);
+        let inner = &fleet.inner;
+        // Replica 1 is slow, replica 2 is fast, replica 0 untried.
+        inner.replicas[1]
+            .health
+            .record_latency(Duration::from_millis(80));
+        inner.replicas[2]
+            .health
+            .record_latency(Duration::from_millis(10));
+        assert_eq!(inner.route_order(), vec![0, 2, 1]);
+
+        // Trip replica 0's breaker: it drops to the tail.
+        for _ in 0..inner.config.health.failure_threshold {
+            inner.replicas[0].health.record_failure();
+        }
+        assert_eq!(inner.route_order(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn hedge_delay_is_floored_and_tracks_p95() {
+        let fleet = fleet(&["127.0.0.1:21"], false);
+        let inner = &fleet.inner;
+        assert_eq!(
+            inner.hedge_delay(0),
+            inner.config.hedge_floor,
+            "no samples -> floor"
+        );
+        for _ in 0..100 {
+            inner.replicas[0]
+                .health
+                .record_latency(Duration::from_millis(200));
+        }
+        let delay = inner.hedge_delay(0);
+        assert!(
+            delay >= Duration::from_millis(190) && delay <= Duration::from_millis(210),
+            "p95 near 200ms: {delay:?}"
+        );
+    }
+}

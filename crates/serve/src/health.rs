@@ -1,0 +1,294 @@
+//! Per-replica health: a consecutive-failure circuit breaker plus an
+//! observed-latency window.
+//!
+//! Every replica the fleet client knows about carries one
+//! [`ReplicaHealth`]. Work calls and background `status` probes both
+//! report their outcomes here; the breaker converts "this replica keeps
+//! failing" into "stop sending it traffic for a while" — the replicated
+//! analogue of the paper's deterministic degradation: a dead or wedged
+//! daemon costs a bounded, predictable detour, never an unbounded hang.
+//!
+//! The breaker is the classic three-state machine:
+//!
+//! ```text
+//! Closed --(threshold consecutive failures)--> Open(until)
+//! Open --(until elapsed)--> HalfOpen
+//! HalfOpen --(success)--> Closed      (recovered)
+//! HalfOpen --(failure)--> Open(until')  (re-trip, longer backoff)
+//! ```
+//!
+//! Open intervals reuse [`aix_core::decorrelated_backoff_ms`] keyed by
+//! the replica address and trip count, so many fleet clients watching
+//! the same dead replica spread their recovery probes instead of
+//! stampeding it the moment it restarts, while the expected interval
+//! still doubles per re-trip.
+//!
+//! The latency window feeds hedging: [`ReplicaHealth::percentile_ms`]
+//! over recent *work* latencies gives the p95 that decides when a hedge
+//! is worth firing and the p50 that ranks replicas for routing. Probe
+//! latencies are deliberately excluded — probes are tiny status calls,
+//! and mixing them in would drag the percentiles far below real
+//! campaign latencies and fire hedges constantly.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Breaker tuning; [`HealthConfig::default`] matches the fleet defaults.
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// Consecutive failures (work calls or probes) that trip the breaker.
+    pub failure_threshold: u32,
+    /// Base open interval, ms (first trip sleeps at least this long).
+    pub backoff_base_ms: u64,
+    /// Open-interval growth cap, ms.
+    pub backoff_cap_ms: u64,
+    /// Background `status` probe period; zero disables the prober.
+    pub probe_interval: Duration,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            failure_threshold: 3,
+            backoff_base_ms: 250,
+            backoff_cap_ms: 15_000,
+            probe_interval: Duration::from_millis(500),
+        }
+    }
+}
+
+/// What the breaker says about routing to a replica right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Availability {
+    /// Closed: route freely.
+    Available,
+    /// The open interval just elapsed: route one trial request.
+    Trial,
+    /// Open: do not route before `until`.
+    Open {
+        /// When the open interval elapses.
+        until: Instant,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Breaker {
+    Closed,
+    Open { until: Instant },
+    HalfOpen,
+}
+
+struct State {
+    breaker: Breaker,
+    consecutive_failures: u32,
+    prev_backoff_ms: u64,
+    trips: u64,
+}
+
+/// How many work latencies the sliding window keeps. Routing and hedge
+/// decisions only need the recent shape, and a small window lets a
+/// recovered replica shed its bad history quickly.
+const LATENCY_WINDOW: usize = 256;
+
+/// One replica's health state; see the module docs.
+pub struct ReplicaHealth {
+    addr: String,
+    config: HealthConfig,
+    state: Mutex<State>,
+    latencies_us: Mutex<Vec<u64>>,
+    latency_count: Mutex<usize>,
+}
+
+impl ReplicaHealth {
+    /// Fresh health for the replica at `addr`: breaker closed, no
+    /// latency samples.
+    #[must_use]
+    pub fn new(addr: &str, config: HealthConfig) -> Self {
+        ReplicaHealth {
+            addr: addr.to_owned(),
+            config,
+            state: Mutex::new(State {
+                breaker: Breaker::Closed,
+                consecutive_failures: 0,
+                prev_backoff_ms: 0,
+                trips: 0,
+            }),
+            latencies_us: Mutex::new(Vec::new()),
+            latency_count: Mutex::new(0),
+        }
+    }
+
+    /// The replica address this health tracks.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Whether the replica may receive traffic now. An elapsed open
+    /// interval transitions to half-open and reports [`Availability::Trial`]
+    /// — the caller's next request is the recovery trial.
+    #[must_use]
+    pub fn availability(&self) -> Availability {
+        let mut state = self.state.lock().expect("health lock poisoned");
+        match state.breaker {
+            Breaker::Closed => Availability::Available,
+            Breaker::HalfOpen => Availability::Trial,
+            Breaker::Open { until } => {
+                if Instant::now() >= until {
+                    state.breaker = Breaker::HalfOpen;
+                    Availability::Trial
+                } else {
+                    Availability::Open { until }
+                }
+            }
+        }
+    }
+
+    /// Reports a successful work call or probe. Returns `true` when this
+    /// success closed a half-open breaker (a recovery, worth counting).
+    pub fn record_success(&self) -> bool {
+        let mut state = self.state.lock().expect("health lock poisoned");
+        state.consecutive_failures = 0;
+        let recovered = matches!(state.breaker, Breaker::HalfOpen);
+        if recovered {
+            state.breaker = Breaker::Closed;
+            state.prev_backoff_ms = 0;
+        }
+        recovered
+    }
+
+    /// Reports a failed work call or probe. Returns `true` when this
+    /// failure tripped (or re-tripped) the breaker open.
+    pub fn record_failure(&self) -> bool {
+        let mut state = self.state.lock().expect("health lock poisoned");
+        state.consecutive_failures = state.consecutive_failures.saturating_add(1);
+        let trip = match state.breaker {
+            Breaker::Closed => state.consecutive_failures >= self.config.failure_threshold,
+            // A failed recovery trial re-opens immediately.
+            Breaker::HalfOpen => true,
+            Breaker::Open { .. } => false,
+        };
+        if trip {
+            state.trips += 1;
+            let backoff = aix_core::decorrelated_backoff_ms(
+                self.config.backoff_base_ms,
+                self.config.backoff_cap_ms,
+                state.prev_backoff_ms.max(self.config.backoff_base_ms),
+                &self.addr,
+                usize::try_from(state.trips).unwrap_or(usize::MAX),
+            );
+            state.prev_backoff_ms = backoff;
+            state.breaker = Breaker::Open {
+                until: Instant::now() + Duration::from_millis(backoff),
+            };
+            state.consecutive_failures = 0;
+        }
+        trip
+    }
+
+    /// How often this replica's breaker has tripped.
+    #[must_use]
+    pub fn trips(&self) -> u64 {
+        self.state.lock().expect("health lock poisoned").trips
+    }
+
+    /// Records one *work call* latency (probes are excluded by their
+    /// callers; see the module docs).
+    pub fn record_latency(&self, latency: Duration) {
+        let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let mut count = self.latency_count.lock().expect("health lock poisoned");
+        let slot = *count % LATENCY_WINDOW;
+        *count += 1;
+        let mut window = self.latencies_us.lock().expect("health lock poisoned");
+        if slot < window.len() {
+            window[slot] = micros;
+        } else {
+            window.push(micros);
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) of the work-latency window, in
+    /// milliseconds; `None` before the first sample.
+    #[must_use]
+    pub fn percentile_ms(&self, q: f64) -> Option<f64> {
+        let mut window = self.latencies_us.lock().expect("health lock poisoned").clone();
+        if window.is_empty() {
+            return None;
+        }
+        window.sort_unstable();
+        let rank = ((window.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(window[rank] as f64 / 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> HealthConfig {
+        HealthConfig {
+            failure_threshold: 3,
+            backoff_base_ms: 20,
+            backoff_cap_ms: 40,
+            probe_interval: Duration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_consecutive_failures() {
+        let health = ReplicaHealth::new("127.0.0.1:1", fast_config());
+        assert_eq!(health.availability(), Availability::Available);
+        assert!(!health.record_failure());
+        assert!(!health.record_failure());
+        // A success in between resets the run.
+        assert!(!health.record_success());
+        assert!(!health.record_failure());
+        assert!(!health.record_failure());
+        assert!(health.record_failure(), "third consecutive failure trips");
+        assert!(matches!(health.availability(), Availability::Open { .. }));
+        assert_eq!(health.trips(), 1);
+    }
+
+    #[test]
+    fn open_breaker_half_opens_then_recovers_or_retrips() {
+        let health = ReplicaHealth::new("127.0.0.1:2", fast_config());
+        for _ in 0..3 {
+            health.record_failure();
+        }
+        let Availability::Open { until } = health.availability() else {
+            panic!("breaker must be open");
+        };
+        // Wait out the (capped, short) open interval.
+        let wait = until.saturating_duration_since(Instant::now());
+        std::thread::sleep(wait + Duration::from_millis(5));
+        assert_eq!(health.availability(), Availability::Trial);
+        // A failed trial re-opens immediately and counts a second trip.
+        assert!(health.record_failure());
+        assert!(matches!(health.availability(), Availability::Open { .. }));
+        assert_eq!(health.trips(), 2);
+
+        let Availability::Open { until } = health.availability() else {
+            panic!("breaker must be open");
+        };
+        std::thread::sleep(until.saturating_duration_since(Instant::now()) + Duration::from_millis(5));
+        assert_eq!(health.availability(), Availability::Trial);
+        // A successful trial closes the breaker for good.
+        assert!(health.record_success(), "recovery must be reported");
+        assert_eq!(health.availability(), Availability::Available);
+        assert!(!health.record_success(), "already closed");
+    }
+
+    #[test]
+    fn latency_percentiles_track_work_calls_only() {
+        let health = ReplicaHealth::new("127.0.0.1:3", fast_config());
+        assert_eq!(health.percentile_ms(0.95), None);
+        for ms in 1..=100u64 {
+            health.record_latency(Duration::from_millis(ms));
+        }
+        let p50 = health.percentile_ms(0.50).unwrap();
+        let p95 = health.percentile_ms(0.95).unwrap();
+        assert!((p50 - 50.0).abs() <= 1.5, "p50 near median: {p50}");
+        assert!((p95 - 95.0).abs() <= 1.5, "p95 near tail: {p95}");
+        assert!(p95 > p50);
+    }
+}

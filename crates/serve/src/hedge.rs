@@ -1,0 +1,250 @@
+//! Hedged requests: race a primary attempt against a delayed backup.
+//!
+//! The tail-latency problem hedging solves: a replica that is *usually*
+//! fast is occasionally slow (GC pause, queue spike, wedged worker). A
+//! hedge — a duplicate of the request sent to a second replica once the
+//! primary has been quiet for longer than its own p95 — converts that
+//! occasional tail into roughly the second replica's median, at the cost
+//! of ≤ 5 % duplicate load (by construction: the hedge only fires in the
+//! slowest 5 % of calls). The first *acceptable* response wins; the
+//! loser's connection is simply dropped — the daemon side finishes and
+//! caches the campaign, so the duplicated work is not wasted if anyone
+//! asks again.
+//!
+//! [`race`] is the mechanism only. Policy — which replica is primary,
+//! which hedges, what delay, whether the retry budget allows the hedge
+//! at all — lives in [`crate::fleet`], which passes it in as closures.
+//! A primary that fails *fast* (before the hedge delay) does not fire
+//! the hedge: that situation is a failover, handled by the fleet's
+//! outer loop with its own budget charge, not a tail-latency rescue.
+
+use crate::protocol::Response;
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Which attempt produced the result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attempt {
+    /// The primary attempt.
+    Primary,
+    /// The hedge attempt.
+    Hedge,
+}
+
+/// The outcome of one [`race`].
+pub struct RaceOutcome {
+    /// The first acceptable response, if any attempt produced one.
+    pub winner: Option<(Attempt, Response)>,
+    /// The last response that was *not* acceptable (e.g. `overloaded`),
+    /// kept so the caller can surface it when no attempt wins.
+    pub rejected: Option<(Attempt, Response)>,
+    /// The last transport error, kept for the same reason.
+    pub error: Option<(Attempt, std::io::Error)>,
+    /// Whether the hedge was dispatched at all.
+    pub hedge_fired: bool,
+    /// Whether the hedge was wanted but the gate (retry budget) denied it.
+    pub hedge_denied: bool,
+}
+
+/// Races `primary` against an optional `hedge` dispatched after `delay`.
+///
+/// Both attempts run on their own threads and must themselves bound how
+/// long they block (connect + response timeouts); `race` never imposes
+/// one. `accept` decides which responses are terminal wins — the first
+/// accepted response returns immediately and the losing thread is
+/// abandoned (its connection drops when its `Client` is dropped at
+/// thread exit). `gate` is evaluated once, at the moment the delay
+/// expires with the primary still silent: returning `false` (a drained
+/// retry budget) suppresses the hedge and the race degrades to the
+/// primary alone.
+pub fn race<P, H, A, G>(
+    primary: P,
+    hedge: Option<H>,
+    delay: Duration,
+    accept: A,
+    gate: G,
+) -> RaceOutcome
+where
+    P: FnOnce() -> std::io::Result<Response> + Send + 'static,
+    H: FnOnce() -> std::io::Result<Response> + Send + 'static,
+    A: Fn(&Response) -> bool,
+    G: FnOnce() -> bool,
+{
+    let (sender, receiver) = mpsc::channel::<(Attempt, std::io::Result<Response>)>();
+    let primary_sender = sender.clone();
+    std::thread::spawn(move || {
+        let _ = primary_sender.send((Attempt::Primary, primary()));
+    });
+
+    let mut outcome = RaceOutcome {
+        winner: None,
+        rejected: None,
+        error: None,
+        hedge_fired: false,
+        hedge_denied: false,
+    };
+    let mut pending = 1usize;
+
+    // Phase 1: wait out the hedge delay on the primary alone.
+    match receiver.recv_timeout(delay) {
+        Ok((attempt, result)) => {
+            // The primary resolved before the delay — fast win or fast
+            // fail, either way the hedge never fires.
+            settle(&mut outcome, attempt, result, &accept);
+            return outcome;
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {}
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            // The primary thread died without sending (can't happen —
+            // the send is unconditional — but never hang on it).
+            outcome.error = Some((
+                Attempt::Primary,
+                std::io::Error::other("primary attempt vanished"),
+            ));
+            return outcome;
+        }
+    }
+
+    // Phase 2: the primary is past its p95 — fire the hedge if policy
+    // provides one and the budget admits it.
+    match hedge {
+        Some(hedge) if gate() => {
+            outcome.hedge_fired = true;
+            pending += 1;
+            let hedge_sender = sender.clone();
+            std::thread::spawn(move || {
+                let _ = hedge_sender.send((Attempt::Hedge, hedge()));
+            });
+        }
+        Some(_) => outcome.hedge_denied = true,
+        None => {}
+    }
+    drop(sender);
+
+    // Phase 3: first acceptable response wins; otherwise drain both.
+    while pending > 0 {
+        let Ok((attempt, result)) = receiver.recv() else {
+            break;
+        };
+        pending -= 1;
+        settle(&mut outcome, attempt, result, &accept);
+        if outcome.winner.is_some() {
+            break;
+        }
+    }
+    outcome
+}
+
+fn settle<A: Fn(&Response) -> bool>(
+    outcome: &mut RaceOutcome,
+    attempt: Attempt,
+    result: std::io::Result<Response>,
+    accept: &A,
+) {
+    match result {
+        Ok(response) if accept(&response) => outcome.winner = Some((attempt, response)),
+        Ok(response) => outcome.rejected = Some((attempt, response)),
+        Err(e) => outcome.error = Some((attempt, e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Status;
+
+    fn ok() -> std::io::Result<Response> {
+        Ok(Response::new(Status::Ok))
+    }
+
+    fn accept_ok(response: &Response) -> bool {
+        response.status() == "ok"
+    }
+
+    #[test]
+    fn fast_primary_wins_without_firing_the_hedge() {
+        let outcome = race(
+            ok,
+            Some(|| -> std::io::Result<Response> { panic!("hedge must not run") }),
+            Duration::from_millis(200),
+            accept_ok,
+            || true,
+        );
+        assert!(!outcome.hedge_fired);
+        let (attempt, response) = outcome.winner.expect("primary wins");
+        assert_eq!(attempt, Attempt::Primary);
+        assert_eq!(response.status(), "ok");
+    }
+
+    #[test]
+    fn slow_primary_loses_to_the_hedge() {
+        let outcome = race(
+            || {
+                std::thread::sleep(Duration::from_millis(400));
+                ok()
+            },
+            Some(ok),
+            Duration::from_millis(20),
+            accept_ok,
+            || true,
+        );
+        assert!(outcome.hedge_fired);
+        let (attempt, _) = outcome.winner.expect("hedge wins");
+        assert_eq!(attempt, Attempt::Hedge);
+    }
+
+    #[test]
+    fn fast_primary_failure_returns_without_hedging() {
+        // A refused connection resolves in microseconds — well inside
+        // the delay — so the race reports the error for the fleet's
+        // failover loop instead of burning a hedge.
+        let outcome = race(
+            || Err(std::io::Error::other("boom")),
+            Some(ok),
+            Duration::from_millis(500),
+            accept_ok,
+            || true,
+        );
+        assert!(!outcome.hedge_fired);
+        assert!(outcome.winner.is_none());
+        let (attempt, error) = outcome.error.expect("primary error kept");
+        assert_eq!(attempt, Attempt::Primary);
+        assert_eq!(error.to_string(), "boom");
+    }
+
+    #[test]
+    fn denied_gate_suppresses_the_hedge_and_waits_out_the_primary() {
+        let outcome = race(
+            || {
+                std::thread::sleep(Duration::from_millis(60));
+                ok()
+            },
+            Some(|| -> std::io::Result<Response> { panic!("hedge denied") }),
+            Duration::from_millis(10),
+            accept_ok,
+            || false,
+        );
+        assert!(!outcome.hedge_fired);
+        assert!(outcome.hedge_denied);
+        let (attempt, _) = outcome.winner.expect("primary still wins");
+        assert_eq!(attempt, Attempt::Primary);
+    }
+
+    #[test]
+    fn rejected_responses_are_kept_when_nobody_wins() {
+        let outcome = race(
+            || {
+                std::thread::sleep(Duration::from_millis(30));
+                Ok(Response::new(Status::Overloaded))
+            },
+            Some(|| Ok(Response::new(Status::Overloaded))),
+            Duration::from_millis(5),
+            accept_ok,
+            || true,
+        );
+        assert!(outcome.hedge_fired);
+        assert!(outcome.winner.is_none());
+        let (_, rejected) = outcome.rejected.expect("rejected response kept");
+        assert_eq!(rejected.status(), "overloaded");
+    }
+}

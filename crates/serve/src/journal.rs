@@ -106,13 +106,18 @@ impl RequestJournal {
 
         // Compact: atomically rewrite just the header + surviving
         // pendings, so torn garbage cannot accumulate across restarts.
+        // Routed through the fsync-before-rename helper so a power loss
+        // mid-compaction cannot lose the pending set.
         let mut compacted = format!("{JOURNAL_HEADER}\n");
         for (hash, wire) in &pending {
             compacted.push_str(&format!("pending {hash} {wire}\n"));
         }
-        let tmp = path.with_extension("journal.tmp");
-        std::fs::write(&tmp, &compacted)?;
-        std::fs::rename(&tmp, path)?;
+        aix_core::fsutil::write_atomic_under(
+            path,
+            &compacted,
+            aix_faults::env_plan(),
+            aix_faults::FaultStage::Serve,
+        )?;
 
         let file = OpenOptions::new().append(true).open(path)?;
         Ok((

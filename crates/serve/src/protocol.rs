@@ -81,6 +81,17 @@ impl Op {
             Op::Verify => "verify",
         }
     }
+
+    /// The admission tier: `select-precision` is a human waiting on a
+    /// deployment answer (interactive); `characterize`/`verify` are
+    /// throughput campaigns (bulk).
+    #[must_use]
+    pub fn tier(self) -> crate::queue::Tier {
+        match self {
+            Op::SelectPrecision => crate::queue::Tier::Interactive,
+            Op::Characterize | Op::Verify => crate::queue::Tier::Bulk,
+        }
+    }
 }
 
 /// One parsed work request (ops `characterize`/`select-precision`/

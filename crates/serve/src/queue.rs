@@ -1,45 +1,77 @@
-//! A bounded multi-producer/multi-consumer job queue with close-to-drain
-//! semantics.
+//! A bounded, two-tier multi-producer/multi-consumer job queue with
+//! close-to-drain semantics.
 //!
-//! Producers never block: when the queue is full, [`BoundedQueue::try_push`]
+//! Producers never block: when a tier is full, [`TieredQueue::try_push`]
 //! fails immediately and the caller sheds the request with an `overloaded`
 //! response. This is the backpressure half of the daemon's memory bound —
-//! however hard clients hammer it, at most `capacity` campaigns are queued.
-//! Consumers block in [`BoundedQueue::pop`] until work arrives or the queue
-//! is closed *and* empty, which is exactly graceful-drain: close the queue,
-//! let the workers finish what was already accepted, join them.
+//! however hard clients hammer it, at most `capacity` campaigns are queued
+//! *per tier*, and shedding stays bounded per tier: a flood of bulk
+//! characterization can never crowd interactive requests out of admission,
+//! and vice versa.
+//!
+//! Consumers block in [`TieredQueue::pop`] until work arrives or the queue
+//! is closed *and* empty. `pop` serves the interactive tier strictly
+//! first: an interactive `select-precision` (a human waiting on a
+//! deployment answer) overtakes any backlog of bulk `characterize`/
+//! `verify` campaigns. Strict priority cannot starve bulk forever because
+//! the interactive tier is itself bounded — once it drains, bulk runs.
+//! Close-to-drain is graceful-drain: close the queue, let the workers
+//! finish what was already accepted (both tiers), join them.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
+/// Which admission tier a request lands in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Latency-sensitive requests (`select-precision`): served first.
+    Interactive,
+    /// Throughput work (`characterize`, `verify`): served when no
+    /// interactive work is queued.
+    Bulk,
+}
+
+impl Tier {
+    /// The status/metric token.
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            Tier::Interactive => "interactive",
+            Tier::Bulk => "bulk",
+        }
+    }
+}
+
 /// Why a push was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PushError {
-    /// The queue is at capacity; shed the request.
+    /// The request's tier is at capacity; shed the request.
     Full,
     /// The queue is closed (daemon draining); refuse the request.
     Closed,
 }
 
 struct Inner<T> {
-    items: VecDeque<T>,
+    interactive: VecDeque<T>,
+    bulk: VecDeque<T>,
     closed: bool,
 }
 
-/// The bounded job queue.
-pub struct BoundedQueue<T> {
+/// The bounded two-tier job queue.
+pub struct TieredQueue<T> {
     inner: Mutex<Inner<T>>,
     ready: Condvar,
     capacity: usize,
 }
 
-impl<T> BoundedQueue<T> {
-    /// A queue holding at most `capacity` items (minimum 1).
+impl<T> TieredQueue<T> {
+    /// A queue holding at most `capacity` items per tier (minimum 1).
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        BoundedQueue {
+        TieredQueue {
             inner: Mutex::new(Inner {
-                items: VecDeque::new(),
+                interactive: VecDeque::new(),
+                bulk: VecDeque::new(),
                 closed: false,
             }),
             ready: Condvar::new(),
@@ -47,46 +79,62 @@ impl<T> BoundedQueue<T> {
         }
     }
 
-    /// The configured capacity.
+    /// The configured per-tier capacity.
     #[must_use]
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
-    /// The current depth (queued, not yet popped).
+    /// The current total depth (queued, not yet popped, both tiers).
     #[must_use]
     pub fn depth(&self) -> usize {
-        self.inner.lock().expect("queue lock poisoned").items.len()
+        let inner = self.inner.lock().expect("queue lock poisoned");
+        inner.interactive.len() + inner.bulk.len()
     }
 
-    /// Enqueues without blocking; returns the new depth.
+    /// The current `(interactive, bulk)` depths.
+    #[must_use]
+    pub fn depths(&self) -> (usize, usize) {
+        let inner = self.inner.lock().expect("queue lock poisoned");
+        (inner.interactive.len(), inner.bulk.len())
+    }
+
+    /// Enqueues into `tier` without blocking; returns the new total depth.
     ///
     /// # Errors
     ///
-    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
-    /// [`close`](Self::close).
-    pub fn try_push(&self, item: T) -> Result<usize, PushError> {
+    /// [`PushError::Full`] when `tier` is at capacity, [`PushError::Closed`]
+    /// after [`close`](Self::close).
+    pub fn try_push(&self, item: T, tier: Tier) -> Result<usize, PushError> {
         let mut inner = self.inner.lock().expect("queue lock poisoned");
         if inner.closed {
             return Err(PushError::Closed);
         }
-        if inner.items.len() >= self.capacity {
+        let lane = match tier {
+            Tier::Interactive => &mut inner.interactive,
+            Tier::Bulk => &mut inner.bulk,
+        };
+        if lane.len() >= self.capacity {
             return Err(PushError::Full);
         }
-        inner.items.push_back(item);
-        let depth = inner.items.len();
+        lane.push_back(item);
+        let depth = inner.interactive.len() + inner.bulk.len();
         drop(inner);
         self.ready.notify_one();
         Ok(depth)
     }
 
-    /// Blocks until an item is available (returning it) or the queue is
-    /// closed and empty (returning `None`). Items accepted before `close`
-    /// are always delivered — drain finishes accepted work.
+    /// Blocks until an item is available (returning it, interactive tier
+    /// first) or the queue is closed and empty (returning `None`). Items
+    /// accepted before `close` are always delivered — drain finishes
+    /// accepted work in both tiers.
     pub fn pop(&self) -> Option<T> {
         let mut inner = self.inner.lock().expect("queue lock poisoned");
         loop {
-            if let Some(item) = inner.items.pop_front() {
+            if let Some(item) = inner.interactive.pop_front() {
+                return Some(item);
+            }
+            if let Some(item) = inner.bulk.pop_front() {
                 return Some(item);
             }
             if inner.closed {
@@ -110,30 +158,44 @@ mod tests {
     use std::sync::Arc;
 
     #[test]
-    fn bounded_push_sheds_at_capacity_and_reports_depth() {
-        let queue = BoundedQueue::new(2);
-        assert_eq!(queue.try_push(1), Ok(1));
-        assert_eq!(queue.try_push(2), Ok(2));
-        assert_eq!(queue.try_push(3), Err(PushError::Full));
-        assert_eq!(queue.depth(), 2);
+    fn bounded_push_sheds_per_tier_and_reports_depth() {
+        let queue = TieredQueue::new(2);
+        assert_eq!(queue.try_push(1, Tier::Bulk), Ok(1));
+        assert_eq!(queue.try_push(2, Tier::Bulk), Ok(2));
+        assert_eq!(queue.try_push(3, Tier::Bulk), Err(PushError::Full));
+        // A full bulk tier does not crowd out interactive admission.
+        assert_eq!(queue.try_push(10, Tier::Interactive), Ok(3));
+        assert_eq!(queue.depth(), 3);
+        assert_eq!(queue.depths(), (1, 2));
+        // Interactive is served first even though bulk arrived earlier.
+        assert_eq!(queue.pop(), Some(10));
         assert_eq!(queue.pop(), Some(1));
-        assert_eq!(queue.try_push(3), Ok(2), "popping frees capacity");
+        assert_eq!(queue.try_push(3, Tier::Bulk), Ok(2), "popping frees capacity");
     }
 
     #[test]
-    fn close_drains_the_backlog_then_wakes_every_consumer() {
-        let queue = Arc::new(BoundedQueue::new(4));
-        queue.try_push(10).unwrap();
-        queue.try_push(11).unwrap();
+    fn interactive_tier_sheds_independently() {
+        let queue = TieredQueue::new(1);
+        assert_eq!(queue.try_push(1, Tier::Interactive), Ok(1));
+        assert_eq!(queue.try_push(2, Tier::Interactive), Err(PushError::Full));
+        assert_eq!(queue.try_push(3, Tier::Bulk), Ok(2));
+    }
+
+    #[test]
+    fn close_drains_both_tiers_then_wakes_every_consumer() {
+        let queue = Arc::new(TieredQueue::new(4));
+        queue.try_push(10, Tier::Bulk).unwrap();
+        queue.try_push(11, Tier::Interactive).unwrap();
         queue.close();
-        assert_eq!(queue.try_push(12), Err(PushError::Closed));
-        // Accepted work is still delivered, in order, before the `None`.
-        assert_eq!(queue.pop(), Some(10));
+        assert_eq!(queue.try_push(12, Tier::Bulk), Err(PushError::Closed));
+        // Accepted work is still delivered, priority order, before the
+        // `None`.
         assert_eq!(queue.pop(), Some(11));
+        assert_eq!(queue.pop(), Some(10));
         assert_eq!(queue.pop(), None);
 
         // A consumer blocked on an empty queue wakes on close.
-        let queue = Arc::new(BoundedQueue::<u32>::new(1));
+        let queue = Arc::new(TieredQueue::<u32>::new(1));
         let waiter = {
             let queue = Arc::clone(&queue);
             std::thread::spawn(move || queue.pop())

@@ -28,9 +28,10 @@ use crate::journal::{request_hash, RequestJournal};
 use crate::protocol::{
     parse_request, read_frame, write_frame, Request, Response, Status, WorkRequest,
 };
-use crate::queue::BoundedQueue;
+use crate::queue::{Tier, TieredQueue};
 use crate::stats::ServeStats;
 use aix_core::{CancelToken, EngineOptions};
+use aix_faults::ConnectionFault;
 use aix_obs::names::serve as names;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -94,7 +95,7 @@ struct Job {
 }
 
 struct Shared {
-    queue: BoundedQueue<Job>,
+    queue: TieredQueue<Job>,
     coalescer: Coalescer,
     stats: ServeStats,
     journal: Option<RequestJournal>,
@@ -160,7 +161,7 @@ impl Server {
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
-                queue: BoundedQueue::new(config.queue_cap),
+                queue: TieredQueue::new(config.queue_cap),
                 coalescer,
                 stats: ServeStats::default(),
                 journal,
@@ -179,6 +180,18 @@ impl Server {
     /// Returns the socket error if the listener is gone.
     pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// A handle that can start a graceful drain from another thread in
+    /// the same process. Chaos tests and benches that wedge a replica
+    /// with an injected `stall` need this: a `shutdown` *request* to a
+    /// stalled daemon would itself stall, but the drain flag is polled by
+    /// the accept loop regardless of connection state.
+    #[must_use]
+    pub fn drain_handle(&self) -> DrainHandle {
+        DrainHandle {
+            shared: Arc::clone(&self.shared),
+        }
     }
 
     /// Runs the accept loop until drain (a `shutdown` request or SIGTERM),
@@ -223,6 +236,19 @@ impl Server {
     }
 }
 
+/// An in-process graceful-drain trigger; see [`Server::drain_handle`].
+pub struct DrainHandle {
+    shared: Arc<Shared>,
+}
+
+impl DrainHandle {
+    /// Starts the graceful drain: the accept loop stops, accepted work
+    /// finishes, [`Server::run`] returns.
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+}
+
 /// Re-executes one journaled request at startup. The serve-stage fault
 /// probe is skipped — the request was already admitted before the crash,
 /// and re-tripping an injected crash here would crash-loop the daemon.
@@ -249,7 +275,10 @@ fn replay(
 
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
-        aix_obs::gauge!(names::QUEUE_DEPTH, shared.queue.depth() as f64);
+        let (interactive, bulk) = shared.queue.depths();
+        aix_obs::gauge!(names::QUEUE_DEPTH, (interactive + bulk) as f64);
+        aix_obs::gauge!(names::QUEUE_DEPTH_INTERACTIVE, interactive as f64);
+        aix_obs::gauge!(names::QUEUE_DEPTH_BULK, bulk as f64);
         let response = if job.token.is_cancelled() {
             ServeStats::bump(&shared.stats.deadline_exceeded);
             aix_obs::count!(names::DEADLINE, at = "queued");
@@ -296,11 +325,33 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             Ok(Some(payload)) => payload,
             Ok(None) | Err(_) => return,
         };
+        // Injected connection faults fire *before* parsing, on every frame
+        // — status probes included. A stalled daemon is a true wedge: it
+        // answers nothing, so the fleet's prober sees it fail and trips
+        // the breaker, exactly like a real hung process. (Emulating
+        // `connrefused` at accept time isn't possible once the kernel has
+        // completed the handshake, so it drops the connection instead —
+        // the client-visible shape, an immediate reset, is the same.)
+        if let Some(faults) = &shared.executor.options().faults {
+            let site = request_hash(&payload);
+            match faults.connection_fault(aix_faults::FaultStage::Serve, &site, 1) {
+                Some(ConnectionFault::Stall { ms }) => {
+                    aix_obs::count!(names::CONN_STALLED, site = site.as_str());
+                    std::thread::sleep(Duration::from_millis(ms));
+                    return;
+                }
+                Some(ConnectionFault::Refused) => {
+                    aix_obs::count!(names::CONN_REFUSED, site = site.as_str());
+                    return;
+                }
+                None => {}
+            }
+        }
         let response = match parse_request(&payload) {
             Ok(Request::Status) => Response::new(Status::Ok).with_fields(
                 shared
                     .stats
-                    .snapshot_fields(shared.queue.depth(), shared.draining.load(Ordering::SeqCst)),
+                    .snapshot_fields(shared.queue.depths(), shared.draining.load(Ordering::SeqCst)),
             ),
             Ok(Request::Shutdown) => {
                 shared.draining.store(true, Ordering::SeqCst);
@@ -328,6 +379,7 @@ fn handle_work(shared: &Shared, work: WorkRequest) -> Response {
     let fingerprint = work.fingerprint();
     let hash = request_hash(&fingerprint);
     let wire = work.to_wire();
+    let tier = work.op.tier();
     let job = Job {
         work: Box::new(work),
         token,
@@ -341,7 +393,7 @@ fn handle_work(shared: &Shared, work: WorkRequest) -> Response {
         if let Some(journal) = &shared.journal {
             let _ = journal.record_pending(&hash, &wire);
         }
-        let pushed = shared.queue.try_push(job);
+        let pushed = shared.queue.try_push(job, tier);
         if pushed.is_err() {
             if let Some(journal) = &shared.journal {
                 let _ = journal.record_done(&hash);
@@ -368,10 +420,15 @@ fn handle_work(shared: &Shared, work: WorkRequest) -> Response {
         }
         Admission::Shed => {
             ServeStats::bump(&shared.stats.shed);
-            aix_obs::count!(names::SHED, depth = shared.queue.depth());
+            ServeStats::bump(match tier {
+                Tier::Interactive => &shared.stats.shed_interactive,
+                Tier::Bulk => &shared.stats.shed_bulk,
+            });
+            aix_obs::count!(names::SHED, depth = shared.queue.depth(), tier = tier.token());
             return Response::new(Status::Overloaded)
                 .with("retry_after_ms", shared.retry_after_ms())
-                .with("queue_depth", shared.queue.depth());
+                .with("queue_depth", shared.queue.depth())
+                .with("tier", tier.token());
         }
         Admission::Closed => {
             return Response::new(Status::Draining).with("error", "daemon is draining")

@@ -20,8 +20,12 @@ const LATENCY_WINDOW: usize = 4096;
 pub struct ServeStats {
     /// Requests admitted into the queue (coalesce leads only).
     pub accepted: AtomicU64,
-    /// Requests shed with an `overloaded` response.
+    /// Requests shed with an `overloaded` response (both tiers).
     pub shed: AtomicU64,
+    /// Interactive-tier (`select-precision`) requests shed.
+    pub shed_interactive: AtomicU64,
+    /// Bulk-tier (`characterize`/`verify`) requests shed.
+    pub shed_bulk: AtomicU64,
     /// Requests served by joining an in-flight execution or by the
     /// completed-result cache instead of enqueueing their own campaign.
     pub coalesced: AtomicU64,
@@ -64,17 +68,23 @@ impl ServeStats {
         (at(0.50), at(0.99))
     }
 
-    /// The status-response fields for the current snapshot. `queue_depth`
-    /// and `draining` are owned by the server and passed in.
+    /// The status-response fields for the current snapshot. The per-tier
+    /// `(interactive, bulk)` queue depths and `draining` are owned by the
+    /// server and passed in; `queue_depth` stays the total for
+    /// compatibility with pre-tier clients.
     #[must_use]
-    pub fn snapshot_fields(&self, queue_depth: usize, draining: bool) -> Vec<(String, Value)> {
+    pub fn snapshot_fields(&self, depths: (usize, usize), draining: bool) -> Vec<(String, Value)> {
         let (p50, p99) = self.latency_percentiles_ms();
         let count = |counter: &AtomicU64| Value::from(counter.load(Ordering::Relaxed) as i64);
         vec![
-            ("queue_depth".to_owned(), Value::from(queue_depth)),
+            ("queue_depth".to_owned(), Value::from(depths.0 + depths.1)),
+            ("queue_depth_interactive".to_owned(), Value::from(depths.0)),
+            ("queue_depth_bulk".to_owned(), Value::from(depths.1)),
             ("draining".to_owned(), Value::from(draining)),
             ("accepted".to_owned(), count(&self.accepted)),
             ("shed".to_owned(), count(&self.shed)),
+            ("shed_interactive".to_owned(), count(&self.shed_interactive)),
+            ("shed_bulk".to_owned(), count(&self.shed_bulk)),
             ("coalesce_hits".to_owned(), count(&self.coalesced)),
             (
                 "deadline_exceeded".to_owned(),
@@ -115,7 +125,8 @@ mod tests {
         let stats = ServeStats::default();
         ServeStats::bump(&stats.accepted);
         ServeStats::bump(&stats.shed);
-        let fields = stats.snapshot_fields(3, true);
+        ServeStats::bump(&stats.shed_bulk);
+        let fields = stats.snapshot_fields((1, 2), true);
         let get = |key: &str| {
             fields
                 .iter()
@@ -124,9 +135,13 @@ mod tests {
                 .unwrap_or_else(|| panic!("snapshot must carry `{key}`"))
         };
         assert_eq!(get("queue_depth"), Value::Int(3));
+        assert_eq!(get("queue_depth_interactive"), Value::Int(1));
+        assert_eq!(get("queue_depth_bulk"), Value::Int(2));
         assert_eq!(get("draining"), Value::Bool(true));
         assert_eq!(get("accepted"), Value::Int(1));
         assert_eq!(get("shed"), Value::Int(1));
+        assert_eq!(get("shed_interactive"), Value::Int(0));
+        assert_eq!(get("shed_bulk"), Value::Int(1));
         assert_eq!(get("completed"), Value::Int(0));
         for key in ["coalesce_hits", "deadline_exceeded", "errors", "p50_ms", "p99_ms"] {
             get(key);

@@ -27,7 +27,7 @@ use aix::core::{
 use aix::dct::DatapathPrecision;
 use aix::faults::FaultPlan;
 use aix::netlist::{to_dot, to_verilog};
-use aix::serve::{Client, Server, ServerConfig};
+use aix::serve::{Client, FleetClient, FleetConfig, Server, ServerConfig};
 use aix::sim::{measure_errors, OperandSource, SignedNormalOperands, SimEngine};
 use aix::sta::{analyze, to_sdf, NetDelays};
 use aix::synth::Effort;
@@ -228,11 +228,29 @@ commands:
                                   retry-after hint, accepted requests are
                                   journaled for crash recovery, and SIGTERM
                                   drains gracefully
-  serve status  [--addr HOST:PORT | --addr-file FILE]
-                                  print a running daemon's queue depth, shed/
-                                  coalesce counters and p50/p99 latencies
-  serve shutdown [--addr HOST:PORT | --addr-file FILE]
-                                  ask a running daemon to drain and exit 0
+  serve call    --kind adder|multiplier|mac [--width N]
+                [--op characterize|select-precision|verify] [--full]
+                [--effort area|medium|ultra] [--years N]
+                [--stress worst|balanced] [--samples N] [--seed N]
+                [--deadline-ms N] [--connect-timeout-ms N]
+                [--addr HOST:PORT | --addr-file FILE |
+                 --fleet ADDR1,ADDR2,...]
+                                  send one work request. --fleet routes it
+                                  through the replicated client: replicas are
+                                  health-probed with circuit breakers, a hedge
+                                  fires after the primary's p95 latency, fast
+                                  failures fail over, and hedges/failovers are
+                                  bounded by a retry token budget so retries
+                                  never amplify an overload
+  serve status  [--addr HOST:PORT | --addr-file FILE |
+                 --fleet ADDR1,ADDR2,...] [--connect-timeout-ms N]
+                                  print a daemon's queue depths (per admission
+                                  tier), shed/coalesce counters and p50/p99
+                                  latencies; --fleet prints one block per
+                                  replica plus the fleet.* snapshot
+  serve shutdown [--addr HOST:PORT | --addr-file FILE |
+                 --fleet ADDR1,ADDR2,...] [--connect-timeout-ms N]
+                                  ask the daemon(s) to drain and exit 0
   trace         summarize [--file FILE] [--strict] [--no-record]
                                   render the per-stage latency/counter table of
                                   a recorded JSONL trace (newest under
@@ -763,12 +781,13 @@ const SERVE_DEFAULT_ADDR: &str = "127.0.0.1:4617";
 fn serve(action: Option<&str>, options: &HashMap<String, String>) -> CliResult {
     match action {
         None | Some("run") => serve_run(options),
+        Some("call") => serve_work_call(options),
         Some("status") => serve_call(options, "{\"op\":\"status\"}"),
         Some("shutdown") => serve_call(options, "{\"op\":\"shutdown\"}"),
         Some(other) => Err(AixError::InvalidOption {
             flag: "serve",
             value: other.to_owned(),
-            expected: "run|status|shutdown",
+            expected: "run|call|status|shutdown",
         }),
     }
 }
@@ -812,8 +831,43 @@ fn serve_run(options: &HashMap<String, String>) -> CliResult {
     Ok(ExitCode::SUCCESS)
 }
 
-fn serve_call(options: &HashMap<String, String>, payload: &str) -> CliResult {
-    let addr = match get(options, "--addr") {
+/// The strict `--connect-timeout-ms` parse (the lenient env-var read
+/// lives in [`aix::serve::client::connect_timeout`]); `0` disables the
+/// bound.
+fn parse_connect_timeout(options: &HashMap<String, String>) -> Result<Option<u64>, AixError> {
+    match get(options, "--connect-timeout-ms") {
+        None => Ok(None),
+        Some(value) => value
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| AixError::InvalidOption {
+                flag: "--connect-timeout-ms",
+                value: value.to_owned(),
+                expected: "a connect timeout in milliseconds (0 = unbounded)",
+            }),
+    }
+}
+
+/// `--fleet addr1,addr2,...` parsed into a replica list.
+fn parse_fleet_addrs(list: &str) -> Result<Vec<String>, AixError> {
+    let addrs: Vec<String> = list
+        .split(',')
+        .map(str::trim)
+        .filter(|a| !a.is_empty())
+        .map(str::to_owned)
+        .collect();
+    if addrs.is_empty() {
+        return Err(AixError::InvalidOption {
+            flag: "--fleet",
+            value: list.to_owned(),
+            expected: "a comma-separated list of replica addresses",
+        });
+    }
+    Ok(addrs)
+}
+
+fn single_addr(options: &HashMap<String, String>) -> Result<String, AixError> {
+    Ok(match get(options, "--addr") {
         Some(addr) => addr.to_owned(),
         None => match get(options, "--addr-file") {
             Some(path) => std::fs::read_to_string(path)
@@ -822,8 +876,18 @@ fn serve_call(options: &HashMap<String, String>, payload: &str) -> CliResult {
                 .to_owned(),
             None => SERVE_DEFAULT_ADDR.to_owned(),
         },
-    };
-    let mut client = Client::connect(&addr).map_err(|e| AixError::io(addr.clone(), e))?;
+    })
+}
+
+fn serve_call(options: &HashMap<String, String>, payload: &str) -> CliResult {
+    let connect_override = parse_connect_timeout(options)?;
+    if let Some(list) = get(options, "--fleet") {
+        return serve_fleet_admin(payload, list, connect_override);
+    }
+    let addr = single_addr(options)?;
+    let timeout = aix::serve::client::connect_timeout(connect_override);
+    let mut client = Client::connect_with_timeout(&addr, timeout)
+        .map_err(|e| AixError::io(addr.clone(), e))?;
     client
         .set_response_timeout(Some(Duration::from_secs(10)))
         .map_err(|e| AixError::io(addr.clone(), e))?;
@@ -834,6 +898,173 @@ fn serve_call(options: &HashMap<String, String>, payload: &str) -> CliResult {
         println!("{key}: {value}");
     }
     Ok(if response.status() == "ok" {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// Fleet-aware `status`/`shutdown`: address every replica, print a block
+/// per replica, and (for `status`) the fleet client's own `fleet.*`
+/// snapshot. Exits 0 when every replica answered.
+fn serve_fleet_admin(
+    payload: &str,
+    list: &str,
+    connect_override: Option<u64>,
+) -> CliResult {
+    let addrs = parse_fleet_addrs(list)?;
+    let timeout = aix::serve::client::connect_timeout(connect_override);
+    let mut failures = 0usize;
+    for addr in &addrs {
+        println!("[{addr}]");
+        let result = Client::connect_with_timeout(addr, timeout).and_then(|mut client| {
+            client.set_response_timeout(Some(Duration::from_secs(10)))?;
+            client.call(payload)
+        });
+        match result {
+            Ok(response) => {
+                for (key, value) in response.fields() {
+                    println!("  {key}: {value}");
+                }
+                if response.status() != "ok" {
+                    failures += 1;
+                }
+            }
+            Err(e) => {
+                println!("  error: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if payload.contains("\"op\":\"status\"") {
+        // A fresh CLI process has no call history, but the snapshot still
+        // reports the fleet shape and per-replica breaker/latency fields
+        // under the same names `serve call --fleet` uses.
+        let mut config = FleetConfig::new(addrs);
+        config.connect_timeout_ms = connect_override;
+        config.probe = false;
+        if let Ok(fleet) = FleetClient::new(config) {
+            println!("[fleet]");
+            for (key, value) in fleet.snapshot_fields() {
+                println!("  {key}: {value}");
+            }
+        }
+    }
+    Ok(if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// `aix serve call`: send one work request, either to a single daemon
+/// (`--addr`/`--addr-file`) or through the replicated fleet client
+/// (`--fleet addr1,addr2,...` — health-checked routing, hedging,
+/// failover).
+fn serve_work_call(options: &HashMap<String, String>) -> CliResult {
+    let op = get(options, "--op").unwrap_or("select-precision");
+    if !matches!(op, "characterize" | "select-precision" | "verify") {
+        return Err(AixError::InvalidOption {
+            flag: "--op",
+            value: op.to_owned(),
+            expected: "characterize|select-precision|verify",
+        });
+    }
+    let kind = parse_kind(options)?;
+    let width: usize = parse_or(options, "--width", 16, "a positive operand width in bits")?;
+    let effort = match get(options, "--effort").unwrap_or("medium") {
+        "area" => "area",
+        "medium" => "medium",
+        "ultra" => "ultra",
+        other => {
+            return Err(AixError::InvalidOption {
+                flag: "--effort",
+                value: other.to_owned(),
+                expected: "area|medium|ultra",
+            })
+        }
+    };
+    let stress = match get(options, "--stress").unwrap_or("worst") {
+        "worst" => "worst",
+        "balanced" => "balanced",
+        other => {
+            return Err(AixError::InvalidOption {
+                flag: "--stress",
+                value: other.to_owned(),
+                expected: "worst|balanced",
+            })
+        }
+    };
+    let years: f64 = parse_or(options, "--years", 10.0, "a number of years")?;
+    let samples: usize = parse_or(options, "--samples", 8, "a positive sample count")?;
+    let seed: u64 = parse_or(options, "--seed", 42, "a campaign seed")?;
+    let deadline_ms: u64 = parse_or(
+        options,
+        "--deadline-ms",
+        0,
+        "a request deadline in milliseconds (0 = none)",
+    )?;
+    let quick = get(options, "--full").is_none();
+
+    let mut fields: Vec<(&str, aix::obs::Value)> = vec![
+        ("op", aix::obs::Value::from(op)),
+        ("kind", aix::obs::Value::from(kind.label())),
+        ("width", aix::obs::Value::from(width)),
+        ("effort", aix::obs::Value::from(effort)),
+        ("quick", aix::obs::Value::from(quick)),
+        ("years", aix::obs::Value::from(years)),
+        ("stress", aix::obs::Value::from(stress)),
+        ("samples", aix::obs::Value::from(samples)),
+        ("seed", aix::obs::Value::from(seed)),
+    ];
+    if deadline_ms > 0 {
+        fields.push(("deadline_ms", aix::obs::Value::from(deadline_ms)));
+    }
+    let payload = aix::obs::render_object(&fields);
+
+    let connect_override = parse_connect_timeout(options)?;
+    // Bound the response wait: the deadline plus slack when one is set,
+    // otherwise a generous ceiling so a wedged daemon still cannot hang
+    // the CLI forever.
+    let response_timeout = if deadline_ms > 0 {
+        Duration::from_millis(deadline_ms) + Duration::from_secs(10)
+    } else {
+        Duration::from_secs(600)
+    };
+
+    let response = if let Some(list) = get(options, "--fleet") {
+        let mut config = FleetConfig::new(parse_fleet_addrs(list)?);
+        config.connect_timeout_ms = connect_override;
+        config.response_timeout = response_timeout;
+        let fleet = FleetClient::new(config).map_err(|e| AixError::io(list.to_owned(), e))?;
+        let response = fleet
+            .call(&payload)
+            .map_err(|e| AixError::io(list.to_owned(), e))?;
+        for (key, value) in response.fields() {
+            println!("{key}: {value}");
+        }
+        println!("[fleet]");
+        for (key, value) in fleet.snapshot_fields() {
+            println!("  {key}: {value}");
+        }
+        response
+    } else {
+        let addr = single_addr(options)?;
+        let timeout = aix::serve::client::connect_timeout(connect_override);
+        let mut client = Client::connect_with_timeout(&addr, timeout)
+            .map_err(|e| AixError::io(addr.clone(), e))?;
+        client
+            .set_response_timeout(Some(response_timeout))
+            .map_err(|e| AixError::io(addr.clone(), e))?;
+        let response = client
+            .call(&payload)
+            .map_err(|e| AixError::io(addr.clone(), e))?;
+        for (key, value) in response.fields() {
+            println!("{key}: {value}");
+        }
+        response
+    };
+    Ok(if matches!(response.status(), "ok" | "partial") {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
