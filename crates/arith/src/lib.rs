@@ -40,10 +40,15 @@ mod cellset;
 mod mac;
 mod multiplier;
 mod spec;
+mod variant;
 
 pub use adder::{add_into, build_adder, AdderKind};
 pub use mac::{build_mac, mac_into};
 pub use multiplier::{build_multiplier, multiply_into, MultiplierKind};
 pub use spec::{ComponentSpec, InvalidSpecError};
+pub use variant::{
+    variant_add_into, variant_mac_into, variant_multiply_into, AdderVariant, MacVariant,
+    MultiplierVariant,
+};
 
 pub(crate) use cellset::CellSet;

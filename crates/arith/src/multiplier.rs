@@ -41,7 +41,7 @@ impl MultiplierKind {
 }
 
 /// Generates the unsigned partial-product matrix: `pp[i][j] = a[i] & b[j]`.
-fn partial_products(
+pub(crate) fn partial_products(
     nl: &mut Netlist,
     cells: &CellSet,
     a: &[NetId],

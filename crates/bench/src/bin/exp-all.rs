@@ -6,9 +6,10 @@ type Experiment = fn(&aix_bench::Options) -> String;
 
 fn main() {
     let options = aix_bench::Options::from_env();
-    let runs: [(&str, Experiment); 15] = [
+    let runs: [(&str, Experiment); 16] = [
         ("sim", experiments::sim::run),
         ("timed", experiments::timed::run),
+        ("explore", experiments::explore::run),
         ("serve", experiments::serve::run),
         ("fleet", experiments::fleet::run),
         ("fig1", experiments::fig1::run),

@@ -1,0 +1,9 @@
+//! Runs the aging-aware approximation search on the study components and
+//! appends the `explore:` search-vs-truncation records to
+//! `out/BENCH_explore.json`. Pass `--full` for paper-scale budgets; see
+//! `aix_bench::Options` for flags.
+
+fn main() {
+    let options = aix_bench::Options::from_env();
+    print!("{}", aix_bench::experiments::explore::run(&options));
+}

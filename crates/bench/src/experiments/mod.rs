@@ -4,6 +4,7 @@
 //! with the measured series and the paper's reference values side by side.
 
 pub mod ablation;
+pub mod explore;
 pub mod fig1;
 pub mod fig2;
 pub mod fig4;

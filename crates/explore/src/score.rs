@@ -1,0 +1,191 @@
+//! Candidate evaluation: build → optimize → functional error → aged STA.
+
+use crate::candidate::Candidate;
+use crate::pareto::Score;
+use aix_aging::{AgingModel, AgingScenario};
+use aix_cells::Library;
+use aix_core::{AixError, ComponentKind};
+use aix_netlist::Netlist;
+use aix_sim::{reference_outputs, OperandSource, SimEngine, UniformOperands};
+use aix_sta::{analyze, NetDelays};
+use std::sync::Arc;
+
+/// Everything a candidate evaluation needs besides the candidate itself.
+/// Built once per search and shared across the `parallel_map` fan-out.
+#[derive(Debug, Clone)]
+pub struct ScoreContext {
+    /// Cell library candidates are built against.
+    pub library: Arc<Library>,
+    /// Aging scenario whose delays gate feasibility.
+    pub scenario: AgingScenario,
+    /// Seeded stimulus vectors, flattened LSB-first per the component's
+    /// input order.
+    pub stimuli: Arc<Vec<Vec<bool>>>,
+    /// Exact arithmetic reference value per stimulus vector.
+    pub exact: Arc<Vec<u64>>,
+    /// Clock period: the exact component's aged critical-path delay, ps.
+    pub clock_ps: f64,
+    /// Simulation engine for functional evaluation.
+    pub engine: SimEngine,
+}
+
+impl ScoreContext {
+    /// Generates the seeded stimuli and exact reference values for `kind` at
+    /// `width`: `count` uniform operand pairs (a MAC's accumulator is held
+    /// at zero, as in the characterization flow).
+    pub fn stimuli_for(
+        kind: ComponentKind,
+        width: usize,
+        count: usize,
+        seed: u64,
+    ) -> (Vec<Vec<bool>>, Vec<u64>) {
+        let source = UniformOperands::new(width, seed);
+        let stimuli: Vec<Vec<bool>> = match kind {
+            ComponentKind::Mac => source.vectors_with_zeros(count, 2 * width).collect(),
+            _ => source.vectors(count).collect(),
+        };
+        let exact = stimuli
+            .iter()
+            .map(|vector| exact_value(kind, width, vector))
+            .collect();
+        (stimuli, exact)
+    }
+}
+
+/// The exact full-precision arithmetic result for one flattened stimulus
+/// vector, expressed in the component's output bit order.
+fn exact_value(kind: ComponentKind, width: usize, vector: &[bool]) -> u64 {
+    let a = bits_to_u64(&vector[..width]);
+    let b = bits_to_u64(&vector[width..2 * width]);
+    match kind {
+        // Outputs are `sum[width]` then `cout`: the full (width+1)-bit sum.
+        ComponentKind::Adder => a + b,
+        ComponentKind::Multiplier => a.wrapping_mul(b),
+        ComponentKind::Mac => {
+            let acc = bits_to_u64(&vector[2 * width..]);
+            let mask = if width >= 32 { u64::MAX } else { (1u64 << (2 * width)) - 1 };
+            a.wrapping_mul(b).wrapping_add(acc) & mask
+        }
+    }
+}
+
+fn bits_to_u64(bits: &[bool]) -> u64 {
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &bit)| acc | (u64::from(bit) << i))
+}
+
+/// Builds and optimizes a candidate netlist — shared by scoring and the
+/// CLI's Verilog export so exported netlists match the scored ones.
+///
+/// # Errors
+///
+/// Propagates construction and optimization failures.
+pub(crate) fn build_optimized(
+    candidate: &Candidate,
+    library: &Arc<Library>,
+) -> Result<Netlist, AixError> {
+    let netlist = candidate.build(library)?;
+    Ok(aix_synth::optimize(&netlist)?)
+}
+
+/// Evaluates one candidate: functional error on the context's stimuli plus
+/// aged critical-path delay and post-optimization gate count.
+///
+/// Deterministic for a fixed context: errors accumulate in stimulus order,
+/// and the packed and scalar engines are bit-identical.
+///
+/// # Errors
+///
+/// Propagates build, simulation and STA failures.
+pub fn score_candidate(context: &ScoreContext, candidate: &Candidate) -> Result<Score, AixError> {
+    let _span = aix_obs::span!(
+        aix_obs::names::explore::SPAN_CANDIDATE,
+        candidate = candidate.label(),
+    );
+    let optimized = build_optimized(candidate, &context.library)?;
+    let outputs = reference_outputs(&optimized, &context.stimuli, context.engine)?;
+
+    let mut erroneous = 0usize;
+    let mut sum_abs = 0.0f64;
+    let mut max_abs = 0.0f64;
+    for (got_bits, &want) in outputs.iter().zip(context.exact.iter()) {
+        let got = bits_to_u64(got_bits);
+        if got != want {
+            erroneous += 1;
+        }
+        let abs = got.abs_diff(want) as f64;
+        sum_abs += abs;
+        if abs > max_abs {
+            max_abs = abs;
+        }
+    }
+    let vectors = outputs.len().max(1) as f64;
+
+    let delays = NetDelays::aged(&optimized, &AgingModel::calibrated(), context.scenario);
+    let aged_delay_ps = analyze(&optimized, &delays)?.max_delay_ps();
+
+    Ok(Score {
+        mean_abs_error: sum_abs / vectors,
+        max_abs_error: max_abs,
+        error_rate: erroneous as f64 / vectors,
+        aged_delay_ps,
+        slack_ps: context.clock_ps - aged_delay_ps,
+        gate_count: optimized.stats().gate_count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aix_aging::Lifetime;
+
+    fn context(kind: ComponentKind, width: usize) -> ScoreContext {
+        let library = Arc::new(Library::nangate45_like());
+        let (stimuli, exact) = ScoreContext::stimuli_for(kind, width, 256, 42);
+        let scenario = AgingScenario::worst_case(Lifetime::YEARS_10);
+        let baseline = build_optimized(&Candidate::exact(kind, width), &library).unwrap();
+        let delays = NetDelays::aged(&baseline, &AgingModel::calibrated(), scenario);
+        let clock_ps = analyze(&baseline, &delays).unwrap().max_delay_ps();
+        ScoreContext {
+            library,
+            scenario,
+            stimuli: Arc::new(stimuli),
+            exact: Arc::new(exact),
+            clock_ps,
+            engine: SimEngine::Packed,
+        }
+    }
+
+    #[test]
+    fn exact_candidate_scores_zero_error_and_zero_slack() {
+        for kind in ComponentKind::ALL {
+            let ctx = context(kind, 8);
+            let score = score_candidate(&ctx, &Candidate::exact(kind, 8)).unwrap();
+            assert_eq!(score.mean_abs_error, 0.0, "{kind:?}");
+            assert_eq!(score.error_rate, 0.0, "{kind:?}");
+            assert_eq!(score.slack_ps, 0.0, "{kind:?}");
+            assert!(score.gate_count > 0);
+        }
+    }
+
+    #[test]
+    fn truncation_trades_error_for_slack_and_area() {
+        let ctx = context(ComponentKind::Adder, 16);
+        let truncated = Candidate::truncated(ComponentKind::Adder, 16, 10).unwrap();
+        let score = score_candidate(&ctx, &truncated).unwrap();
+        assert!(score.mean_abs_error > 0.0);
+        assert!(score.slack_ps > 0.0, "truncation should shorten the aged path");
+        let exact = score_candidate(&ctx, &Candidate::exact(ComponentKind::Adder, 16)).unwrap();
+        assert!(score.gate_count < exact.gate_count);
+    }
+
+    #[test]
+    fn scoring_is_deterministic() {
+        let ctx = context(ComponentKind::Multiplier, 8);
+        let candidate = Candidate::truncated(ComponentKind::Multiplier, 8, 6).unwrap();
+        let a = score_candidate(&ctx, &candidate).unwrap();
+        let b = score_candidate(&ctx, &candidate).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the Pareto front: for *any* set of scores, the front
+//! returns no dominated point, and its contents (and order) are invariant
+//! under the insertion order. Together with the search's own byte-identity
+//! tests (jobs=1 vs N, cold vs warm cache) this pins the determinism
+//! contract the CLI and CI rely on.
+
+use aix_core::ComponentKind;
+use aix_explore::{Candidate, FrontPoint, ParetoFront, Score};
+use proptest::prelude::*;
+
+/// Builds a labelled point from a raw (error, delay, gates) triple; the
+/// precision index keeps candidate labels distinct.
+fn point(index: usize, err: f64, delay: f64, gates: usize) -> FrontPoint {
+    FrontPoint {
+        candidate: Candidate::truncated(ComponentKind::Adder, 16, (index % 15) + 1)
+            .expect("in-range precision"),
+        score: Score {
+            mean_abs_error: err,
+            max_abs_error: err * 2.0,
+            error_rate: 0.1,
+            aged_delay_ps: delay,
+            slack_ps: 1000.0 - delay,
+            gate_count: gates,
+        },
+    }
+}
+
+fn front_labels(points: &[FrontPoint]) -> Vec<(String, u64)> {
+    // Pair the label with the error bits so identical labels with different
+    // scores (same precision index) stay distinguishable.
+    points
+        .iter()
+        .map(|p| (p.candidate.label(), p.score.mean_abs_error.to_bits()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// No returned point is dominated by another returned point.
+    #[test]
+    fn front_never_returns_a_dominated_point(
+        raw in proptest::collection::vec((0.0f64..1e6, 0.0f64..1e4, 1usize..5000), 1..24)
+    ) {
+        let mut front = ParetoFront::new();
+        for (i, &(err, delay, gates)) in raw.iter().enumerate() {
+            front.insert(point(i, err, delay, gates));
+        }
+        for a in front.points() {
+            for b in front.points() {
+                prop_assert!(
+                    !a.score.dominates(&b.score),
+                    "front returned a dominated pair"
+                );
+            }
+        }
+        prop_assert!(!front.is_empty(), "at least one point always survives");
+    }
+
+    /// The front's contents and order are a pure function of the inserted
+    /// *set*: any rotation of the insertion order yields the same front.
+    #[test]
+    fn front_is_insertion_order_invariant(
+        raw in proptest::collection::vec((0.0f64..1e6, 0.0f64..1e4, 1usize..5000), 1..16),
+        rotation in 0usize..16,
+    ) {
+        let points: Vec<FrontPoint> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(err, delay, gates))| point(i, err, delay, gates))
+            .collect();
+        let mut in_order = ParetoFront::new();
+        for p in &points {
+            in_order.insert(p.clone());
+        }
+        let mut rotated = ParetoFront::new();
+        for i in 0..points.len() {
+            rotated.insert(points[(i + rotation) % points.len()].clone());
+        }
+        let mut reversed = ParetoFront::new();
+        for p in points.iter().rev() {
+            reversed.insert(p.clone());
+        }
+        prop_assert_eq!(front_labels(in_order.points()), front_labels(rotated.points()));
+        prop_assert_eq!(front_labels(in_order.points()), front_labels(reversed.points()));
+    }
+
+    /// Every insertion report is honest: `true` means the point is now on
+    /// the front, `false` means it is dominated by (or identical to) a
+    /// surviving point.
+    #[test]
+    fn insertion_reports_match_membership(
+        raw in proptest::collection::vec((0.0f64..1e3, 0.0f64..1e3, 1usize..100), 1..12)
+    ) {
+        let mut front = ParetoFront::new();
+        for (i, &(err, delay, gates)) in raw.iter().enumerate() {
+            let p = point(i, err, delay, gates);
+            let joined = front.insert(p.clone());
+            let present = front
+                .points()
+                .iter()
+                .any(|q| q.score == p.score && q.candidate.label() == p.candidate.label());
+            if joined {
+                prop_assert!(present, "accepted point must be on the front");
+            } else {
+                let covered = front
+                    .points()
+                    .iter()
+                    .any(|q| q.score.dominates(&p.score) || q.score == p.score);
+                prop_assert!(covered, "rejected point must be dominated or duplicate");
+            }
+        }
+    }
+}

@@ -53,6 +53,26 @@ pub mod serve {
     pub const CONN_REFUSED: &str = "serve_conn_refused";
 }
 
+/// Design-space explorer events (`aix-explore`): one span per search, one
+/// per candidate evaluation, and counters matching the outcome report.
+pub mod explore {
+    /// Span over one full Pareto search, from seeding to the final front.
+    pub const SPAN_SEARCH: &str = "explore_search";
+    /// Span over one candidate evaluation (build, optimize, simulate, STA).
+    pub const SPAN_CANDIDATE: &str = "explore_candidate";
+    /// Counter: a candidate was evaluated (freshly scored, not from cache).
+    pub const EVALUATED: &str = "explore_evaluated";
+    /// Counter: a candidate's score was served from the on-disk cache.
+    pub const CACHE_HIT: &str = "explore_cache_hit";
+    /// Counter: a candidate evaluation panicked or failed and was
+    /// quarantined; the search continued without it.
+    pub const QUARANTINED: &str = "explore_quarantined";
+    /// Counter: a candidate was skipped because the search was cancelled.
+    pub const SKIPPED: &str = "explore_skipped";
+    /// Gauge: size of the Pareto front after each generation.
+    pub const FRONT_SIZE: &str = "explore_front_size";
+}
+
 /// Metric and span names for the replicated fleet client layer
 /// (`aix-serve::fleet`): hedging, health probing, circuit breaking and
 /// failover across a set of daemon replicas.

@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! aix characterize --kind adder --width 16 [--effort medium] [--out FILE]
+//! aix explore --kind adder --width 32 [--years 10] [--budget 96] [--seed 1]
 //! aix flow [--years 10] [--stress worst|balanced] [--library FILE]
 //!          [--verify off|warn|degrade|failfast]
 //! aix verify [--library FILE] [--samples N] [--seed N] [--policy failfast]
@@ -21,9 +22,10 @@ use aix::arith::ComponentSpec;
 use aix::cells::{degradation_to_text, to_liberty, DegradationAwareLibrary, Library};
 use aix::core::{
     append_bench_json, append_bench_record, default_bench_json_path, idct_design, AixError,
-    ApproxLibrary, CampaignStatus, CharacterizationConfig, CharacterizationEngine, ComponentKind,
-    EngineOptions, FAULT_GRAMMAR,
+    ApproxLibrary, CampaignStatus, CancelToken, CharacterizationConfig, CharacterizationEngine,
+    ComponentKind, EngineOptions, FAULT_GRAMMAR,
 };
+use aix::explore::ExploreConfig;
 use aix::dct::DatapathPrecision;
 use aix::faults::FaultPlan;
 use aix::netlist::{to_dot, to_verilog};
@@ -65,6 +67,7 @@ fn main() -> ExitCode {
         .and_then(|_| {
         let result = match command.as_str() {
             "characterize" => characterize(&options),
+            "explore" => explore(&options),
             "flow" => flow(&options),
             "verify" => verify(&options),
             "error-rate" => error_rate(&options),
@@ -197,6 +200,24 @@ commands:
                                   Exit code: 0 complete, 2 partial, 1 empty.
                                   --fault injects deterministic faults (panic,
                                   io, delay; also AIX_FAULT) for harness tests
+  explore       --kind adder|multiplier|mac --width N [--years N]
+                [--stress worst|balanced] [--budget N] [--seed N]
+                [--vectors N] [--deadline SECS] [--jobs N] [--cache DIR]
+                [--no-cache] [--fault SPEC] [--out FILE]
+                [--export-verilog DIR]
+                                  search gate-level approximation variants
+                                  (lower-OR adders, approximate full adders,
+                                  speculative segments, column-pruned
+                                  multipliers, approximate merges) against the
+                                  aged clock and print the Pareto front of
+                                  (error, aged slack, gate count). The clock
+                                  is the exact component's own aged delay.
+                                  Deterministic for a fixed seed: reports are
+                                  byte-identical for any --jobs count and for
+                                  cold vs warm caches. --out writes the JSON
+                                  report; --export-verilog writes one netlist
+                                  per front point. Exit code: 0 complete,
+                                  2 partial (quarantines/deadline), 1 empty
   flow          [--years N] [--stress worst|balanced] [--library FILE]
                 [--verify off|warn|degrade|failfast] [--samples N] [--seed N]
                 [--jobs N] [--cache DIR] [--no-cache]
@@ -655,6 +676,98 @@ fn characterize(options: &HashMap<String, String>) -> CliResult {
                 "aix: campaign EMPTY: all {} job(s) failed",
                 campaign.failures.len()
             );
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// `aix explore`: aging-aware approximation search. Builds variant
+/// netlists, scores them for functional error and aged delay, and prints
+/// the Pareto front of (error, aged slack, gate count).
+fn explore(options: &HashMap<String, String>) -> CliResult {
+    let kind = parse_kind(options)?;
+    let value = require(options, "--width")?;
+    let width: usize = match value.parse() {
+        Ok(width) if (1..=32).contains(&width) => width,
+        _ => {
+            return Err(AixError::InvalidOption {
+                flag: "--width",
+                value: value.to_owned(),
+                expected: "an operand width in 1..=32 bits",
+            })
+        }
+    };
+    let engine = parse_engine_options(options)?;
+    let mut config = ExploreConfig::new(kind, width);
+    config.scenario = parse_scenario(options)?;
+    config.seed = parse_or(options, "--seed", config.seed, "an unsigned integer")?;
+    config.budget = parse_or(options, "--budget", config.budget, "a candidate budget")?;
+    if config.budget == 0 {
+        return Err(AixError::InvalidOption {
+            flag: "--budget",
+            value: String::from("0"),
+            expected: "a positive candidate budget",
+        });
+    }
+    config.vectors = parse_or(options, "--vectors", config.vectors, "a vector count")?;
+    config.engine = SimEngine::from_env().unwrap_or_default();
+    config.jobs = engine.resolved_jobs();
+    config.cache_dir = engine.cache_dir;
+    config.faults = engine.faults;
+    if let Some(value) = get(options, "--deadline") {
+        config.cancel = parse_timeout("--deadline", value)?.map(CancelToken::deadline_in);
+    }
+
+    let cells = Arc::new(Library::nangate45_like());
+    let outcome = aix::explore::explore(&cells, &config)?;
+
+    print!("{}", outcome.table());
+    println!(
+        "# clock {:.3} ps under {}; {} evaluated, {} cached, {} skipped, {} quarantined",
+        outcome.clock_ps,
+        outcome.scenario,
+        outcome.evaluated,
+        outcome.cache_hits,
+        outcome.skipped,
+        outcome.quarantined.len(),
+    );
+    if let Some(path) = get(options, "--out") {
+        let mut report = outcome.to_json();
+        report.push('\n');
+        std::fs::write(path, report).map_err(|e| AixError::io(path, e))?;
+        println!("report written to {path}");
+    }
+    if let Some(dir) = get(options, "--export-verilog") {
+        let dir = PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).map_err(|e| AixError::io(dir.display().to_string(), e))?;
+        for point in &outcome.front {
+            let netlist = point.candidate.build(&cells)?;
+            let optimized = aix::synth::optimize(&netlist)?;
+            let path = dir.join(format!("{}.v", point.candidate.label()));
+            std::fs::write(&path, to_verilog(&optimized))
+                .map_err(|e| AixError::io(path.display().to_string(), e))?;
+        }
+        println!(
+            "{} netlist(s) written to {}",
+            outcome.front.len(),
+            dir.display()
+        );
+    }
+    for q in &outcome.quarantined {
+        eprintln!("aix: candidate QUARANTINED: {}: {}", q.label, q.reason);
+    }
+    match outcome.status() {
+        CampaignStatus::Complete => Ok(ExitCode::SUCCESS),
+        CampaignStatus::Partial => {
+            eprintln!(
+                "aix: search PARTIAL: {} candidate(s) quarantined{}",
+                outcome.quarantined.len(),
+                if outcome.cancelled { "; deadline hit" } else { "" }
+            );
+            Ok(ExitCode::from(2))
+        }
+        CampaignStatus::Empty => {
+            eprintln!("aix: search EMPTY: no candidate survived evaluation");
             Ok(ExitCode::FAILURE)
         }
     }

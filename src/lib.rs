@@ -42,6 +42,7 @@ pub use aix_arith as arith;
 pub use aix_cells as cells;
 pub use aix_core as core;
 pub use aix_dct as dct;
+pub use aix_explore as explore;
 pub use aix_faults as faults;
 pub use aix_image as image;
 pub use aix_netlist as netlist;

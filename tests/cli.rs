@@ -12,7 +12,7 @@ fn help_lists_every_command() {
     let output = aix().arg("help").output().expect("spawn aix");
     assert!(output.status.success());
     let text = String::from_utf8_lossy(&output.stdout);
-    for command in ["characterize", "flow", "verify", "error-rate", "quality", "export"] {
+    for command in ["characterize", "explore", "flow", "verify", "error-rate", "quality", "export"] {
         assert!(text.contains(command), "help must mention `{command}`");
     }
 }
@@ -58,6 +58,78 @@ fn characterize_emits_a_parseable_library() {
     // The summary lines report Eq. 2 outcomes.
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(stdout.contains("Eq. 2"));
+}
+
+#[test]
+fn explore_prints_a_front_and_writes_the_report() {
+    let dir = std::env::temp_dir().join(format!("aix-cli-explore-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let out = dir.join("front.json");
+    let output = aix()
+        .args([
+            "explore", "--kind", "adder", "--width", "8", "--budget", "24", "--vectors", "256",
+            "--no-cache", "--out",
+        ])
+        .arg(&out)
+        .output()
+        .expect("spawn aix");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("candidate"), "front table header missing");
+    assert!(stdout.contains("add-csel_8b_lo0_afa0_seg0"), "exact anchor missing");
+    let report = std::fs::read_to_string(&out).expect("report written");
+    assert!(report.contains("\"status\":\"complete\""));
+    assert!(report.contains("\"front\":["));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn explore_quarantines_injected_faults_and_exits_partial() {
+    let output = aix()
+        .args([
+            "explore", "--kind", "adder", "--width", "8", "--budget", "24", "--vectors", "256",
+            "--no-cache", "--fault", "panic:p=0.3,seed=9,stage=synth",
+        ])
+        .output()
+        .expect("spawn aix");
+    assert_eq!(
+        output.status.code(),
+        Some(2),
+        "injected faults must yield the partial exit code; stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("QUARANTINED"), "stderr: {stderr}");
+    assert!(stderr.contains("search PARTIAL"), "stderr: {stderr}");
+    // Survivors still form a front.
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.lines().count() > 2, "partial front must still print");
+}
+
+#[test]
+fn explore_honors_a_deadline_mid_search() {
+    // A budget far beyond what half a second (of debug-build evaluation)
+    // can score: the deadline token must cut the search short, and the
+    // partially explored front must still be reported.
+    let output = aix()
+        .args([
+            "explore", "--kind", "adder", "--width", "12", "--budget", "1000000", "--vectors",
+            "8192", "--no-cache", "--deadline", "0.5",
+        ])
+        .output()
+        .expect("spawn aix");
+    assert_eq!(
+        output.status.code(),
+        Some(2),
+        "a mid-search deadline must yield the partial exit code; stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("deadline hit"), "stderr: {stderr}");
 }
 
 #[test]

@@ -1,0 +1,51 @@
+//! Pinned-seed regression for the approximation search: the 16-bit adder
+//! searched for 48 candidates under the ten-year worst-case scenario must
+//! reproduce the golden Pareto front byte for byte. The front JSON is a
+//! deterministic function of (library, scenario, seed, vectors, budget) —
+//! any drift in the variant generators, the optimizer, the aging model,
+//! the STA or the search loop itself trips this test loudly.
+//!
+//! Regenerate the golden after an *intentional* change with:
+//! `UPDATE_GOLDEN=1 cargo test --test explore_regression`
+
+use aix::cells::Library;
+use aix::core::ComponentKind;
+use aix::explore::{explore, ExploreConfig};
+use std::sync::Arc;
+
+const GOLDEN_PATH: &str = "tests/golden/explore_adder16_10y.json";
+const GOLDEN: &str = include_str!("golden/explore_adder16_10y.json");
+
+fn pinned_config() -> ExploreConfig {
+    let mut config = ExploreConfig::new(ComponentKind::Adder, 16);
+    config.seed = 1;
+    config.budget = 48;
+    config.vectors = 512;
+    config
+}
+
+#[test]
+fn adder16_ten_year_front_matches_golden() {
+    let cells = Arc::new(Library::nangate45_like());
+    let outcome = explore(&cells, &pinned_config()).expect("pinned search");
+    assert!(outcome.quarantined.is_empty() && !outcome.cancelled);
+    let front = format!("{}\n", outcome.front_json());
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN_PATH, &front).expect("write golden");
+        return;
+    }
+    assert_eq!(
+        front, GOLDEN,
+        "pinned adder-16 front drifted from {GOLDEN_PATH}; if the change \
+         is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn pinned_front_is_job_count_invariant() {
+    let cells = Arc::new(Library::nangate45_like());
+    let mut parallel = pinned_config();
+    parallel.jobs = 8;
+    let outcome = explore(&cells, &parallel).expect("pinned search");
+    assert_eq!(format!("{}\n", outcome.front_json()), GOLDEN);
+}

@@ -4,7 +4,7 @@ use aix::aging::{AgingModel, Lifetime, StressFactor, StressPair};
 use aix::arith::{build_adder, build_multiplier, AdderKind, ComponentSpec, MultiplierKind};
 use aix::cells::Library;
 use aix::netlist::{bus_from_u64, bus_to_u64};
-use aix::sim::TimedSimulator;
+use aix::sim::{reference_outputs, OperandSource, SimEngine, TimedSimulator, UniformOperands};
 use aix::sta::{analyze, NetDelays};
 use aix::synth::optimize;
 use proptest::prelude::*;
@@ -153,5 +153,87 @@ proptest! {
             let out = sim.step(&inputs, clock).expect("step");
             prop_assert_eq!(bus_to_u64(&out.settled), a + b);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random adder-variant configurations always produce well-formed,
+    /// schedulable netlists that survive optimization, build
+    /// deterministically, and report consistent gate counts.
+    #[test]
+    fn adder_variants_are_well_formed(
+        width in 2usize..=12,
+        kind_index in 0usize..4,
+        precision_cut in 0usize..=4,
+        lower_or in 0usize..=8,
+        approx_fa in 0usize..=4,
+        segment in 0usize..=8,
+    ) {
+        use aix::arith::AdderVariant;
+        let precision = width.saturating_sub(precision_cut).max(1);
+        let variant = AdderVariant {
+            kind: AdderKind::ALL[kind_index],
+            spec: ComponentSpec::new(width, precision).expect("valid spec"),
+            lower_or_bits: lower_or.min(width - 1),
+            approx_fa_bits: approx_fa.min(width - 1),
+            segment_bits: segment % width,
+        };
+        let netlist = variant.build(&cells()).expect("variant builds");
+        prop_assert!(netlist.validate().is_ok(), "variant netlist must validate");
+        prop_assert!(netlist.schedule().is_ok(), "variant netlist must schedule");
+        let stats = netlist.stats();
+        prop_assert!(stats.gate_count > 0);
+        let optimized = optimize(&netlist).expect("variant optimizes");
+        prop_assert!(optimized.validate().is_ok());
+        prop_assert!(optimized.stats().gate_count <= stats.gate_count);
+        // Determinism: a second build is gate-for-gate the same circuit
+        // with the same behaviour on seeded stimuli.
+        let again = variant.build(&cells()).expect("variant rebuilds");
+        prop_assert_eq!(again.stats().gate_count, stats.gate_count);
+        let stimuli: Vec<Vec<bool>> = UniformOperands::new(width, 3)
+            .vectors(64)
+            .collect();
+        let first = reference_outputs(&netlist, &stimuli, SimEngine::Packed)
+            .expect("simulate");
+        let second = reference_outputs(&again, &stimuli, SimEngine::Packed)
+            .expect("simulate rebuild");
+        prop_assert_eq!(first, second, "variant builds must be deterministic");
+    }
+
+    /// Random multiplier-variant configurations are equally well-formed:
+    /// acyclic, optimizable, deterministic for a fixed seed.
+    #[test]
+    fn multiplier_variants_are_well_formed(
+        width in 2usize..=8,
+        kind_index in 0usize..3,
+        precision_cut in 0usize..=3,
+        pruned in 0usize..=6,
+        merge_lower_or in 0usize..=6,
+    ) {
+        use aix::arith::MultiplierVariant;
+        let precision = width.saturating_sub(precision_cut).max(1);
+        let variant = MultiplierVariant {
+            kind: MultiplierKind::ALL[kind_index],
+            spec: ComponentSpec::new(width, precision).expect("valid spec"),
+            pruned_columns: pruned.min(2 * width - 2),
+            merge_lower_or: merge_lower_or.min(2 * width - 2),
+        };
+        let netlist = variant.build(&cells()).expect("variant builds");
+        prop_assert!(netlist.validate().is_ok());
+        prop_assert!(netlist.schedule().is_ok());
+        let stats = netlist.stats();
+        prop_assert!(stats.gate_count > 0);
+        let optimized = optimize(&netlist).expect("variant optimizes");
+        prop_assert!(optimized.validate().is_ok());
+        let stimuli: Vec<Vec<bool>> = UniformOperands::new(width, 5)
+            .vectors(64)
+            .collect();
+        let scalar = reference_outputs(&netlist, &stimuli, SimEngine::Scalar)
+            .expect("scalar");
+        let packed = reference_outputs(&netlist, &stimuli, SimEngine::Packed)
+            .expect("packed");
+        prop_assert_eq!(scalar, packed, "engines must agree on variant netlists");
     }
 }
