@@ -6,8 +6,9 @@ type Experiment = fn(&aix_bench::Options) -> String;
 
 fn main() {
     let options = aix_bench::Options::from_env();
-    let runs: [(&str, Experiment); 16] = [
+    let runs: [(&str, Experiment); 17] = [
         ("sim", experiments::sim::run),
+        ("import", experiments::import::run),
         ("timed", experiments::timed::run),
         ("explore", experiments::explore::run),
         ("serve", experiments::serve::run),

@@ -1,0 +1,8 @@
+//! Measures Verilog/EDIF import throughput with round-trip checking and
+//! appends the `import:` records to `out/BENCH_import.json`. Pass `--full`
+//! for paper-scale widths; see `aix_bench::Options` for flags.
+
+fn main() {
+    let options = aix_bench::Options::from_env();
+    print!("{}", aix_bench::experiments::import::run(&options));
+}

@@ -1,0 +1,127 @@
+//! Import front-end throughput and round-trip differential bench.
+//!
+//! Not a paper figure — this tracks the structural Verilog / EDIF parsers
+//! themselves. Each generated component is exported to both formats,
+//! re-imported, and re-exported; the run measures parse throughput
+//! (lines/s and gates/s) and asserts the byte-identical fixpoint, so a
+//! regression in either parser or exporter trips the bench before it
+//! trips a user. Records land in `out/BENCH_import.json`.
+
+use crate::{Options, Table};
+use aix_arith::{build_adder, build_multiplier, AdderKind, ComponentSpec, MultiplierKind};
+use aix_cells::Library;
+use aix_core::append_bench_json;
+use aix_netlist::{import_edif, import_verilog, to_edif, to_verilog, Netlist};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Times `repeats` imports of `source` and checks the re-export fixpoint
+/// once. Returns the best-of-N wall time in seconds.
+fn time_import<F, E>(source: &str, repeats: usize, import: F, export: E) -> f64
+where
+    F: Fn(&str) -> Netlist,
+    E: Fn(&Netlist) -> String,
+{
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let start = Instant::now();
+        let netlist = import(source);
+        best = best.min(start.elapsed().as_secs_f64());
+        assert_eq!(
+            export(&netlist),
+            source,
+            "round-trip fixpoint violated — differential failure"
+        );
+    }
+    best
+}
+
+/// Runs the import-throughput experiment.
+pub fn run(options: &Options) -> String {
+    let width = options.scaled("width", 16, 64);
+    let repeats = options.get_usize("repeats", 3);
+    let cells = Arc::new(Library::nangate45_like());
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "import — structural Verilog / EDIF front-end throughput \
+         (best of {repeats}, round-trip checked)\n"
+    );
+    let mut table = Table::new(&[
+        "component",
+        "gates",
+        "verilog [ms]",
+        "verilog [kgates/s]",
+        "edif [ms]",
+        "edif [kgates/s]",
+    ]);
+
+    let spec = ComponentSpec::full(width);
+    let components: Vec<(String, Netlist)> = vec![
+        (
+            format!("adder-{width} (ripple)"),
+            build_adder(&cells, AdderKind::RippleCarry, spec).expect("adder generation"),
+        ),
+        (
+            format!("adder-{width} (kogge-stone)"),
+            build_adder(&cells, AdderKind::KoggeStone, spec).expect("adder generation"),
+        ),
+        (
+            format!("multiplier-{width} (array)"),
+            build_multiplier(&cells, MultiplierKind::Array, spec).expect("multiplier generation"),
+        ),
+    ];
+
+    let bench_path = Path::new("out/BENCH_import.json");
+    for (label, netlist) in &components {
+        let gates = netlist.stats().gate_count;
+        let verilog = to_verilog(netlist);
+        let edif = to_edif(netlist);
+        let verilog_s = time_import(
+            &verilog,
+            repeats,
+            |src| import_verilog(src, &cells).expect("exporter output imports"),
+            to_verilog,
+        );
+        let edif_s = time_import(
+            &edif,
+            repeats,
+            |src| import_edif(src, &cells).expect("exporter output imports"),
+            to_edif,
+        );
+        let verilog_gps = gates as f64 / verilog_s.max(1e-9);
+        let edif_gps = gates as f64 / edif_s.max(1e-9);
+        table.row_owned(vec![
+            label.clone(),
+            gates.to_string(),
+            format!("{:.2}", verilog_s * 1e3),
+            format!("{:.1}", verilog_gps / 1e3),
+            format!("{:.2}", edif_s * 1e3),
+            format!("{:.1}", edif_gps / 1e3),
+        ]);
+
+        let record = format!(
+            "{{\"label\":\"import:{label}\",\"gates\":{gates},\
+             \"verilog_gates_per_s\":{verilog_gps:.1},\
+             \"edif_gates_per_s\":{edif_gps:.1},\
+             \"verilog_bytes\":{},\"edif_bytes\":{}}}",
+            verilog.len(),
+            edif.len()
+        );
+        if let Err(error) = append_bench_json(bench_path, record) {
+            let _ = writeln!(out, "(could not append import record: {error})");
+        }
+    }
+
+    out.push_str(&table.render());
+    let _ = writeln!(
+        out,
+        "\nexpected shape: both parsers sustain well over 100 kgates/s; every\n\
+         import re-exported byte-identically (asserted). Records appended to {}.",
+        bench_path.display()
+    );
+    out
+}

@@ -15,6 +15,7 @@ pub mod fig8b;
 pub mod fig8c;
 pub mod fleet;
 pub mod headline;
+pub mod import;
 pub mod schedule;
 pub mod serve;
 pub mod sim;

@@ -9,7 +9,7 @@
 use crate::{FlowError, ParseComponentKindError, ParseLibraryError};
 use aix_aging::InvalidLifetimeError;
 use aix_arith::InvalidSpecError;
-use aix_netlist::NetlistError;
+use aix_netlist::{ImportError, NetlistError};
 use std::error::Error;
 use std::fmt;
 
@@ -34,6 +34,14 @@ pub enum AixError {
         path: Option<String>,
         /// The parse failure, which names the line at fault.
         source: ParseLibraryError,
+    },
+    /// A netlist file failed to import. `path` is the file; the source
+    /// carries the structured reason and, when known, the line/column.
+    Import {
+        /// File the netlist text was read from.
+        path: String,
+        /// The import failure, which names the offending location.
+        source: ImportError,
     },
     /// A filesystem failure, annotated with the path involved.
     Io {
@@ -90,6 +98,9 @@ impl fmt::Display for AixError {
                 Some(path) => write!(f, "{path}: {source}"),
                 None => write!(f, "library text: {source}"),
             },
+            // `ImportError` prefixes `line:col: ` itself when a location
+            // is known, so this renders as `file.v:3:17: message`.
+            AixError::Import { path, source } => write!(f, "{path}:{source}"),
             AixError::Io { path, source } => write!(f, "{path}: {source}"),
             AixError::MissingOption { flag } => write!(f, "{flag} is required"),
             AixError::InvalidOption {
@@ -123,6 +134,7 @@ impl Error for AixError {
             AixError::Lifetime(e) => Some(e),
             AixError::ComponentKind(e) => Some(e),
             AixError::LibraryFormat { source, .. } => Some(source),
+            AixError::Import { source, .. } => Some(source),
             AixError::Io { source, .. } => Some(source),
             AixError::MissingOption { .. }
             | AixError::InvalidOption { .. }
@@ -136,6 +148,14 @@ impl AixError {
     /// Wraps an I/O error with the path being accessed.
     pub fn io(path: impl Into<String>, source: std::io::Error) -> Self {
         AixError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// Wraps a netlist import failure with the file it came from.
+    pub fn import(path: impl Into<String>, source: ImportError) -> Self {
+        AixError::Import {
             path: path.into(),
             source,
         }

@@ -52,6 +52,7 @@ mod error;
 pub mod fsutil;
 mod guard;
 mod idct;
+mod imported;
 mod journal;
 mod library;
 mod microarch;
@@ -74,6 +75,10 @@ pub use engine::{
 pub use error::AixError;
 pub use guard::{decorrelated_backoff_ms, panic_message};
 pub use idct::{idct_design, IDCT_BLOCK_NAMES};
+pub use imported::{
+    characterize_imported, input_buses, load_imported, truncate_imported, verify_imported,
+    ImportedConfig, ImportedReport, ImportedVariant, ImportedVerify, InputBus,
+};
 pub use library::{ApproxLibrary, ParseLibraryError};
 pub use microarch::{
     apply_aging_approximations, ApproximationPlan, BlockPlan, FlowError, MicroarchBlock,

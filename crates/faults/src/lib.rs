@@ -17,7 +17,8 @@
 //!           | "stall" | "connrefused"
 //! param     = "p=" FLOAT        probability in [0, 1]   (default 1)
 //!           | "seed=" INT       decision seed           (default 0)
-//!           | "stage=" STAGE    synth | sta | cache | serve   (default: all)
+//!           | "stage=" STAGE    synth | sta | cache | serve | import
+//!                               (default: all)
 //!           | "ms=" INT         delay duration, ms      (default 10;
 //!                               600000 for stall)
 //! ```
@@ -125,6 +126,8 @@ pub enum FaultStage {
     Cache,
     /// The `aix serve` daemon's request-handling path.
     Serve,
+    /// The netlist import front-end (`aix import` / `--netlist`).
+    Import,
 }
 
 impl FaultStage {
@@ -135,6 +138,7 @@ impl FaultStage {
             FaultStage::Sta => "sta",
             FaultStage::Cache => "cache",
             FaultStage::Serve => "serve",
+            FaultStage::Import => "import",
         }
     }
 }
@@ -219,7 +223,7 @@ impl fmt::Display for ParseFaultError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}: expected `mode[:p=F,seed=N,stage=synth|sta|cache|serve,ms=N]` \
+            "{}: expected `mode[:p=F,seed=N,stage=synth|sta|cache|serve|import,ms=N]` \
              with mode panic|io|delay|shortwrite|enospc|stall|connrefused, `;`-separated",
             self.what
         )
@@ -292,6 +296,7 @@ impl FromStr for FaultPlan {
                             "sta" => FaultStage::Sta,
                             "cache" => FaultStage::Cache,
                             "serve" => FaultStage::Serve,
+                            "import" => FaultStage::Import,
                             other => {
                                 return Err(ParseFaultError::new(format!(
                                     "unknown stage `{other}`"
@@ -647,6 +652,24 @@ mod tests {
         assert!(spec.fires(FaultStage::Serve, "req", 1));
         for stage in [FaultStage::Synth, FaultStage::Sta, FaultStage::Cache] {
             assert!(!spec.fires(stage, "req", 1));
+        }
+    }
+
+    #[test]
+    fn import_stage_parses_and_fires_independently() {
+        let plan: FaultPlan = "panic:p=1,stage=import".parse().unwrap();
+        assert_eq!(plan.specs()[0].stage, Some(FaultStage::Import));
+        let again: FaultPlan = plan.to_string().parse().unwrap();
+        assert_eq!(again, plan);
+        let spec = &plan.specs()[0];
+        assert!(spec.fires(FaultStage::Import, "adder.v", 0));
+        for stage in [
+            FaultStage::Synth,
+            FaultStage::Sta,
+            FaultStage::Cache,
+            FaultStage::Serve,
+        ] {
+            assert!(!spec.fires(stage, "adder.v", 0));
         }
     }
 

@@ -33,18 +33,26 @@
 
 mod bus;
 mod dot;
+mod edif;
 mod error;
 mod eval;
 mod graph;
+pub mod import;
+mod names;
 mod netlist;
 mod stats;
 mod verilog;
 
 pub use bus::{bus_from_u64, bus_to_u64, Bus};
 pub use dot::to_dot;
+pub use edif::to_edif;
 pub use error::NetlistError;
 pub use eval::Evaluator;
 pub use graph::Schedule;
+pub use import::{
+    import_edif, import_edif_with, import_netlist, import_verilog, import_verilog_with,
+    CellAliases, ImportError, ImportFormat, Loc,
+};
 pub use netlist::{Gate, GateId, Net, NetDriver, NetId, Netlist, PortDirection};
 pub use stats::NetlistStats;
 pub use verilog::to_verilog;

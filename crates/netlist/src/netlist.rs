@@ -194,6 +194,45 @@ impl Netlist {
         id
     }
 
+    /// Names (or renames) a net. The import front-end preserves source
+    /// wire names this way so a re-export reproduces its input byte for
+    /// byte; the Verilog/EDIF exporters fall back to `w{index}` for
+    /// anonymous nets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    pub fn set_net_name(&mut self, net: NetId, name: impl Into<String>) {
+        self.nets[net.index()].name = Some(name.into());
+    }
+
+    /// Assembles a netlist directly from pre-built tables — the import
+    /// mapper's construction path, which must wire drivers for forward
+    /// references before the driving gate exists and therefore cannot go
+    /// through [`add_gate`](Self::add_gate). Nothing is checked here;
+    /// callers run [`validate`](Self::validate) on the result.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        name: String,
+        library: Arc<Library>,
+        nets: Vec<Net>,
+        gates: Vec<Gate>,
+        inputs: Vec<NetId>,
+        outputs: Vec<(String, NetId)>,
+        const_nets: [Option<NetId>; 2],
+    ) -> Self {
+        Self {
+            name,
+            library,
+            nets,
+            gates,
+            inputs,
+            outputs,
+            const_nets,
+            schedule: OnceLock::new(),
+        }
+    }
+
     /// Instantiates `cell` with the given input nets, creating one fresh net
     /// per output pin. Returns the output nets in pin order.
     ///

@@ -1,37 +1,31 @@
 //! Structural Verilog export: makes every synthesized netlist a portable
 //! artifact that can be inspected, re-simulated or re-synthesized with
-//! standard EDA tooling.
+//! standard EDA tooling — and re-imported by [`crate::import`], whose
+//! round-trip suite relies on two properties established here:
+//!
+//! * **Collision-free identifiers.** Names are allocated through
+//!   [`crate::names::NameTable`], which suffixes sanitization clashes
+//!   (`a[3]` vs `a_3_`) instead of silently merging them.
+//! * **Name preservation.** A net that carries a name (as every net of an
+//!   imported netlist does) is emitted under that name, so
+//!   export ∘ import is the identity on exporter output.
 
+use crate::names::NameTable;
 use crate::{NetDriver, NetId, Netlist};
 use std::fmt::Write as _;
 
-/// Sanitizes a name into a Verilog identifier (bus bits `a[3]` become
-/// `a_3_`; anything else non-alphanumeric becomes `_`).
-fn identifier(name: &str) -> String {
-    let mut out: String = name
-        .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-        .collect();
-    if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
-        out.insert(0, 'n');
-    }
-    out
-}
+/// Input pin names in pin order, shared with the importer.
+pub(crate) const INPUT_PINS: [&str; 3] = ["a", "b", "c"];
+/// Output pin names in pin order, shared with the importer.
+pub(crate) const OUTPUT_PINS: [&str; 2] = ["y", "co"];
 
-/// The Verilog expression for a net: a port name, an internal wire, or a
+/// The Verilog expression for a net: a port or wire identifier, or a
 /// constant literal.
-fn net_expr(netlist: &Netlist, net: NetId) -> String {
+fn net_expr(netlist: &Netlist, names: &NameTable, net: NetId) -> String {
     match netlist.net(net).driver {
         NetDriver::Constant(false) => "1'b0".to_owned(),
         NetDriver::Constant(true) => "1'b1".to_owned(),
-        NetDriver::PrimaryInput(_) => identifier(
-            netlist
-                .net(net)
-                .name
-                .as_deref()
-                .unwrap_or(&format!("pi_{}", net.index())),
-        ),
-        NetDriver::Gate { .. } => format!("w{}", net.index()),
+        NetDriver::PrimaryInput(_) | NetDriver::Gate { .. } => names.net(net).to_owned(),
     }
 }
 
@@ -61,51 +55,49 @@ fn net_expr(netlist: &Netlist, net: NetId) -> String {
 /// # Ok::<(), aix_netlist::NetlistError>(())
 /// ```
 pub fn to_verilog(netlist: &Netlist) -> String {
+    let names = NameTable::build(netlist);
     let mut out = String::new();
-    let inputs: Vec<String> = netlist
+    let inputs: Vec<&str> = netlist
         .inputs()
         .iter()
-        .map(|&n| net_expr(netlist, n))
-        .collect();
-    let outputs: Vec<String> = netlist
-        .outputs()
-        .iter()
-        .map(|(name, _)| identifier(name))
+        .map(|&n| names.net(n))
         .collect();
     let _ = writeln!(
         out,
         "module {} ({});",
-        identifier(netlist.name()),
+        names.module,
         inputs
             .iter()
-            .chain(outputs.iter())
-            .cloned()
+            .copied()
+            .chain(names.outputs.iter().map(String::as_str))
             .collect::<Vec<_>>()
             .join(", ")
     );
     for input in &inputs {
         let _ = writeln!(out, "  input {input};");
     }
-    for output in &outputs {
+    for output in &names.outputs {
         let _ = writeln!(out, "  output {output};");
     }
     // Internal wires: every gate-driven net.
     for (id, net) in netlist.nets() {
         if matches!(net.driver, NetDriver::Gate { .. }) {
-            let _ = writeln!(out, "  wire w{};", id.index());
+            let _ = writeln!(out, "  wire {};", names.net(id));
         }
     }
     // Cell instances.
-    const INPUT_PINS: [&str; 3] = ["a", "b", "c"];
-    const OUTPUT_PINS: [&str; 2] = ["y", "co"];
     for (id, gate) in netlist.gates() {
         let cell = netlist.library().cell(gate.cell);
         let mut connections = Vec::new();
         for (pin, &net) in gate.inputs.iter().enumerate() {
-            connections.push(format!(".{}({})", INPUT_PINS[pin], net_expr(netlist, net)));
+            connections.push(format!(
+                ".{}({})",
+                INPUT_PINS[pin],
+                net_expr(netlist, &names, net)
+            ));
         }
         for (pin, &net) in gate.outputs.iter().enumerate() {
-            connections.push(format!(".{}(w{})", OUTPUT_PINS[pin], net.index()));
+            connections.push(format!(".{}({})", OUTPUT_PINS[pin], names.net(net)));
         }
         let _ = writeln!(
             out,
@@ -116,12 +108,12 @@ pub fn to_verilog(netlist: &Netlist) -> String {
         );
     }
     // Output port assignments.
-    for (name, net) in netlist.outputs() {
+    for (index, (_, net)) in netlist.outputs().iter().enumerate() {
         let _ = writeln!(
             out,
             "  assign {} = {};",
-            identifier(name),
-            net_expr(netlist, *net)
+            names.outputs[index],
+            net_expr(netlist, &names, *net)
         );
     }
     out.push_str("endmodule\n");
@@ -206,5 +198,45 @@ mod tests {
             .filter(|l| l.contains("INV_X1 g") || l.contains("NAND2_X2 g"))
             .count();
         assert_eq!(instances, nl.gate_count());
+    }
+
+    /// Regression for the sanitizer collision: the source names `a[3]` and
+    /// `a_3_` both sanitize to `a_3_`, and the old exporter emitted two
+    /// ports (and two instance connections) under that one identifier.
+    /// With collision-free allocation, every identifier is distinct and
+    /// each connection references the right port.
+    #[test]
+    fn colliding_source_names_stay_distinct() {
+        let lib = lib();
+        let nand = lib.find(CellFunction::Nand2, DriveStrength::X1).unwrap();
+        let mut nl = Netlist::new("clash", lib.clone());
+        let a = nl.add_input("a[3]");
+        let b = nl.add_input("a_3_");
+        let y = nl.add_gate(nand, &[a, b]).unwrap();
+        nl.mark_output("y", y[0]);
+        let v = to_verilog(&nl);
+        assert!(v.contains("input a_3_;"));
+        assert!(v.contains("input a_3__2;"));
+        assert!(v.contains(".a(a_3_), .b(a_3__2)"));
+        // Exactly one declaration per identifier.
+        assert_eq!(v.matches("input a_3_;").count(), 1);
+        assert_eq!(v.matches("input a_3__2;").count(), 1);
+    }
+
+    /// Named nets are emitted under their own names — the property the
+    /// round-trip fixpoint is built on.
+    #[test]
+    fn named_wires_are_preserved() {
+        let lib = lib();
+        let inv = lib.find(CellFunction::Inv, DriveStrength::X1).unwrap();
+        let mut nl = Netlist::new("named", lib.clone());
+        let a = nl.add_input("a");
+        let x = nl.add_gate(inv, &[a]).unwrap()[0];
+        nl.set_net_name(x, "my_wire");
+        let y = nl.add_gate(inv, &[x]).unwrap()[0];
+        nl.mark_output("y", y);
+        let v = to_verilog(&nl);
+        assert!(v.contains("wire my_wire;"));
+        assert!(v.contains(".a(my_wire)"));
     }
 }

@@ -73,6 +73,29 @@ pub mod explore {
     pub const FRONT_SIZE: &str = "explore_front_size";
 }
 
+/// Netlist import front-end events: one span per imported file plus one
+/// per stage (parse, map, validate), and counters sized in structural
+/// elements so a trace shows how large each imported design was.
+pub mod import {
+    /// Span over one whole file import, from bytes to validated netlist.
+    pub const SPAN_IMPORT: &str = "import_file";
+    /// Span over lexing + parsing the source text into the design AST.
+    pub const SPAN_PARSE: &str = "import_parse";
+    /// Span over mapping the design AST onto library cells and nets.
+    pub const SPAN_MAP: &str = "import_map";
+    /// Span over structural validation of the mapped netlist.
+    pub const SPAN_VALIDATE: &str = "import_validate";
+    /// Counter: gates instantiated by the mapper.
+    pub const GATES: &str = "import_gates";
+    /// Counter: nets created by the mapper.
+    pub const NETS: &str = "import_nets";
+    /// Counter: a cell name resolved through the alias table rather than
+    /// an exact library-name match.
+    pub const ALIAS_HIT: &str = "import_alias_hit";
+    /// Counter: an import failed with a structured `ImportError`.
+    pub const FAILED: &str = "import_failed";
+}
+
 /// Metric and span names for the replicated fleet client layer
 /// (`aix-serve::fleet`): hedging, health probing, circuit breaking and
 /// failover across a set of daemon replicas.

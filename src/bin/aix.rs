@@ -4,6 +4,7 @@
 //! without writing any code.
 //!
 //! ```text
+//! aix import netlist.v [more.edif ...] [--emit verilog|edif|dot] [--out FILE]
 //! aix characterize --kind adder --width 16 [--effort medium] [--out FILE]
 //! aix explore --kind adder --width 32 [--years 10] [--budget 96] [--seed 1]
 //! aix flow [--years 10] [--stress worst|balanced] [--library FILE]
@@ -21,14 +22,15 @@ use aix::aging::{AgingModel, AgingScenario, Lifetime};
 use aix::arith::ComponentSpec;
 use aix::cells::{degradation_to_text, to_liberty, DegradationAwareLibrary, Library};
 use aix::core::{
-    append_bench_json, append_bench_record, default_bench_json_path, idct_design, AixError,
-    ApproxLibrary, CampaignStatus, CancelToken, CharacterizationConfig, CharacterizationEngine,
-    ComponentKind, EngineOptions, FAULT_GRAMMAR,
+    append_bench_json, append_bench_record, characterize_imported, default_bench_json_path,
+    idct_design, load_imported, panic_message, verify_imported, AixError, ApproxLibrary,
+    CampaignStatus, CancelToken, CharacterizationConfig, CharacterizationEngine, ComponentKind,
+    EngineOptions, ImportedConfig, FAULT_GRAMMAR,
 };
 use aix::explore::ExploreConfig;
 use aix::dct::DatapathPrecision;
-use aix::faults::FaultPlan;
-use aix::netlist::{to_dot, to_verilog};
+use aix::faults::{FaultPlan, FaultStage};
+use aix::netlist::{to_dot, to_edif, to_verilog};
 use aix::serve::{Client, FleetClient, FleetConfig, Server, ServerConfig};
 use aix::sim::{measure_errors, OperandSource, SignedNormalOperands, SimEngine};
 use aix::sta::{analyze, to_sdf, NetDelays};
@@ -52,7 +54,7 @@ fn main() -> ExitCode {
     };
     // `trace` and `serve` take a positional action (`summarize`,
     // `status`/`shutdown`) before their flags; bare `aix serve` runs the
-    // daemon.
+    // daemon. `import` takes positional netlist files before its flags.
     let action = match command.as_str() {
         "trace" => args.next(),
         "serve" => match args.peek() {
@@ -61,11 +63,21 @@ fn main() -> ExitCode {
         },
         _ => None,
     };
+    let mut files = Vec::new();
+    if command == "import" {
+        while let Some(next) = args.peek() {
+            if next.starts_with("--") {
+                break;
+            }
+            files.push(args.next().expect("peeked"));
+        }
+    }
     let options = parse_options(args);
     let result = configure_observability(&command, &options)
         .and_then(|_| configure_sim_engine(&options))
         .and_then(|_| {
         let result = match command.as_str() {
+            "import" => import_files(&files, &options),
             "characterize" => characterize(&options),
             "explore" => explore(&options),
             "flow" => flow(&options),
@@ -183,6 +195,19 @@ const USAGE: &str = "\
 usage: aix <command> [--key value ...]
 
 commands:
+  import        FILE... [--emit verilog|edif|dot] [--out FILE] [--fault SPEC]
+                                  parse structural Verilog (.v/.sv) or EDIF
+                                  2.0.0 (.edif/.edf) netlists, map every
+                                  instance onto the cell library (with alias
+                                  resolution), validate, and print one
+                                  summary line per design; --emit re-exports
+                                  the imported netlist (--out writes it to a
+                                  file). Failures name the position as
+                                  `file:line:col: message`. Exit code: 0 all
+                                  imported, 2 some failed, 1 none did.
+                                  Imported designs feed the full pipeline via
+                                  `--netlist FILE` on characterize, explore,
+                                  flow and verify
   characterize  --kind adder|multiplier|mac --width N [--effort area|medium|ultra]
                 [--out FILE] [--jobs N] [--cache DIR] [--no-cache]
                 [--journal DIR] [--no-journal] [--resume]
@@ -199,7 +224,10 @@ commands:
                                   AIX_JOURNAL) so --resume retries only them.
                                   Exit code: 0 complete, 2 partial, 1 empty.
                                   --fault injects deterministic faults (panic,
-                                  io, delay; also AIX_FAULT) for harness tests
+                                  io, delay; also AIX_FAULT) for harness tests.
+                                  --netlist FILE sweeps truncations of an
+                                  imported design instead (with --years,
+                                  --stress, --vectors, --seed, --max-cut)
   explore       --kind adder|multiplier|mac --width N [--years N]
                 [--stress worst|balanced] [--budget N] [--seed N]
                 [--vectors N] [--deadline SECS] [--jobs N] [--cache DIR]
@@ -217,17 +245,24 @@ commands:
                                   cold vs warm caches. --out writes the JSON
                                   report; --export-verilog writes one netlist
                                   per front point. Exit code: 0 complete,
-                                  2 partial (quarantines/deadline), 1 empty
+                                  2 partial (quarantines/deadline), 1 empty.
+                                  --netlist FILE explores the truncation
+                                  front of an imported design instead
   flow          [--years N] [--stress worst|balanced] [--library FILE]
                 [--verify off|warn|degrade|failfast] [--samples N] [--seed N]
                 [--jobs N] [--cache DIR] [--no-cache]
                                   run the Fig. 6 flow on the IDCT design,
-                                  optionally gated by Monte-Carlo verification
+                                  optionally gated by Monte-Carlo verification.
+                                  --netlist FILE runs activity -> aged STA ->
+                                  Eq. 2 precision selection on an imported
+                                  design instead
   verify        [--library FILE] [--samples N] [--seed N] [--margin PS]
                 [--sigma-global F] [--sigma-gate F] [--vectors N]
                 [--policy off|warn|degrade|failfast] [--jobs N] [--cache DIR]
                                   adversarially re-validate every library entry;
-                                  exits non-zero iff a failfast violation is found
+                                  exits non-zero iff a failfast violation is
+                                  found. --netlist FILE Monte-Carlo checks the
+                                  Eq. 2 margin of an imported design instead
   error-rate    --kind adder|multiplier --width N [--years N] [--vectors N]
                                   measure timing-error probability at the fresh clock
   quality       --truncation N [--width W --height H]
@@ -618,7 +653,230 @@ fn read_library(path: &str) -> Result<ApproxLibrary, AixError> {
     ApproxLibrary::from_text(&text).map_err(|e| AixError::library_file(path, e))
 }
 
+/// `aix import FILE...`: parse structural Verilog/EDIF netlists, map the
+/// instances onto the cell library, validate, and summarize (or re-emit)
+/// each design. Exit code: 0 all imported, 2 some failed, 1 none did.
+fn import_files(files: &[String], options: &HashMap<String, String>) -> CliResult {
+    if files.is_empty() {
+        return Err(AixError::MissingOption { flag: "FILE" });
+    }
+    let emit = match get(options, "--emit") {
+        None => None,
+        Some(format @ ("verilog" | "edif" | "dot")) => Some(format.to_owned()),
+        Some(other) => {
+            return Err(AixError::InvalidOption {
+                flag: "--emit",
+                value: other.to_owned(),
+                expected: "verilog|edif|dot",
+            })
+        }
+    };
+    if get(options, "--out").is_some() && files.len() > 1 {
+        return Err(AixError::InvalidOption {
+            flag: "--out",
+            value: get(options, "--out").unwrap_or_default().to_owned(),
+            expected: "a single input file when --out is given",
+        });
+    }
+    let faults = parse_engine_options(options)?.faults;
+    let cells = Arc::new(Library::nangate45_like());
+    let mut imported = 0usize;
+    let mut failed = 0usize;
+    for file in files {
+        // Guard each file like an engine job: an injected (or genuine)
+        // panic quarantines the file instead of crashing the CLI.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(plan) = &faults {
+                plan.probe(FaultStage::Import, file, 1);
+            }
+            load_imported(file, &cells)
+        }));
+        match result {
+            Err(panic) => {
+                failed += 1;
+                eprintln!("aix: import QUARANTINED: {file}: {}", panic_message(panic));
+            }
+            Ok(Err(error)) => {
+                failed += 1;
+                eprintln!("aix: import FAILED: {error}");
+            }
+            Ok(Ok(netlist)) => {
+                imported += 1;
+                let stats = netlist.stats();
+                println!(
+                    "{file}: `{}` {} gate(s), {} net(s), {} input(s), {} output(s), {:.1} um2",
+                    netlist.name(),
+                    stats.gate_count,
+                    stats.net_count,
+                    stats.input_count,
+                    stats.output_count,
+                    stats.area_um2
+                );
+                if let Some(format) = &emit {
+                    let text = match format.as_str() {
+                        "verilog" => to_verilog(&netlist),
+                        "edif" => to_edif(&netlist),
+                        _ => to_dot(&netlist),
+                    };
+                    match get(options, "--out") {
+                        Some(path) => {
+                            std::fs::write(path, text).map_err(|e| AixError::io(path, e))?;
+                            println!("written to {path}");
+                        }
+                        None => print!("{text}"),
+                    }
+                }
+            }
+        }
+    }
+    Ok(if failed == 0 {
+        ExitCode::SUCCESS
+    } else if imported > 0 {
+        ExitCode::from(2)
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// The shared `--netlist` pipeline parameters (`--years`, `--stress`,
+/// `--vectors`, `--seed`, `--max-cut`).
+fn parse_imported_config(options: &HashMap<String, String>) -> Result<ImportedConfig, AixError> {
+    let mut config = ImportedConfig::default();
+    config.scenario = parse_scenario(options)?;
+    config.vectors = parse_or(options, "--vectors", config.vectors, "a vector count")?;
+    config.seed = parse_or(options, "--seed", config.seed, "an unsigned integer")?;
+    if let Some(value) = get(options, "--max-cut") {
+        let cut: u32 = value.parse().map_err(|_| AixError::InvalidOption {
+            flag: "--max-cut",
+            value: value.to_owned(),
+            expected: "a truncation depth in bits",
+        })?;
+        config.max_cut = Some(cut);
+    }
+    Ok(config)
+}
+
+/// `aix characterize --netlist FILE`: the truncation sweep of an imported
+/// design, rendered like a library characterization.
+fn characterize_netlist(path: &str, options: &HashMap<String, String>) -> CliResult {
+    let cells = Arc::new(Library::nangate45_like());
+    let netlist = load_imported(path, &cells)?;
+    let config = parse_imported_config(options)?;
+    let report = characterize_imported(&netlist, &AgingModel::calibrated(), &config)?;
+    let text = report.render();
+    if let Some(out) = get(options, "--out") {
+        std::fs::write(out, &text).map_err(|e| AixError::io(out, e))?;
+        println!("written to {out}");
+    } else {
+        print!("{text}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `aix explore --netlist FILE`: the Pareto front of the imported design's
+/// truncation sweep on (error, aged delay, gate count).
+fn explore_netlist(path: &str, options: &HashMap<String, String>) -> CliResult {
+    let cells = Arc::new(Library::nangate45_like());
+    let netlist = load_imported(path, &cells)?;
+    let config = parse_imported_config(options)?;
+    let report = characterize_imported(&netlist, &AgingModel::calibrated(), &config)?;
+    println!(
+        "{:>4} {:>7} {:>10} {:>9} {:>8}  candidate",
+        "cut", "gates", "aged [ps]", "slack", "err [%]"
+    );
+    for v in report.pareto_front() {
+        println!(
+            "{:>4} {:>7} {:>10.1} {:>+9.1} {:>8.2}  {}_cut{}",
+            v.cut, v.gates, v.aged_ps, v.slack_ps, v.error_percent, report.design, v.cut
+        );
+    }
+    println!(
+        "# clock {:.3} ps under {}; {} variant(s) evaluated",
+        report.clock_ps,
+        report.scenario,
+        report.variants.len()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `aix flow --netlist FILE`: activity → aged STA → Eq. 2 precision
+/// selection on an imported design.
+fn flow_netlist(path: &str, options: &HashMap<String, String>) -> CliResult {
+    let cells = Arc::new(Library::nangate45_like());
+    let netlist = load_imported(path, &cells)?;
+    let config = parse_imported_config(options)?;
+    let report = characterize_imported(&netlist, &AgingModel::calibrated(), &config)?;
+    println!(
+        "imported design `{}` constraint {:.1} ps under {}:",
+        report.design, report.clock_ps, report.scenario
+    );
+    match report.required_cut() {
+        Some(cut) => {
+            let v = &report.variants[cut as usize];
+            println!(
+                "  {:<12} aged {:>7.1} ps  slack {:>+6.1}%  -> cut {} LSB(s) \
+                 ({} gates, err {:.2}%)",
+                report.design,
+                v.aged_ps,
+                100.0 * v.slack_ps / report.clock_ps,
+                cut,
+                v.gates,
+                v.error_percent
+            );
+            println!("validation: timing MET");
+            Ok(ExitCode::SUCCESS)
+        }
+        None => {
+            println!("validation: timing VIOLATED (no truncation compensates the aging)");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// `aix verify --netlist FILE`: Monte-Carlo margin check of the Eq. 2
+/// selection under perturbed per-gate aging.
+fn verify_netlist(path: &str, options: &HashMap<String, String>) -> CliResult {
+    let policy = parse_policy(options, "--policy", VerifyPolicy::FailFast)?;
+    let cells = Arc::new(Library::nangate45_like());
+    let netlist = load_imported(path, &cells)?;
+    let config = parse_imported_config(options)?;
+    let samples: usize = parse_or(options, "--samples", 24, "a positive sample count")?;
+    let sigma: f64 = parse_or(options, "--sigma-gate", 0.03, "a relative delay spread")?;
+    let seed: u64 = parse_or(options, "--seed", 42, "an unsigned integer")?;
+    let outcome = verify_imported(&netlist, &AgingModel::calibrated(), &config, samples, sigma, seed)?;
+    match outcome {
+        None => {
+            eprintln!(
+                "aix: imported design `{}` is not compensable under {}",
+                netlist.name(),
+                config.scenario
+            );
+            Ok(ExitCode::FAILURE)
+        }
+        Some(verify) => {
+            println!(
+                "imported `{}` cut {}: {} of {} sample(s) met the clock \
+                 (worst margin {:+.1} ps) — {}",
+                netlist.name(),
+                verify.cut,
+                verify.samples - verify.failures,
+                verify.samples,
+                verify.worst_margin_ps,
+                if verify.passed() { "PASS" } else { "FAIL" }
+            );
+            if !verify.passed() && policy == VerifyPolicy::FailFast {
+                eprintln!("aix: verification failed under failfast policy");
+                return Ok(ExitCode::FAILURE);
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+    }
+}
+
 fn characterize(options: &HashMap<String, String>) -> CliResult {
+    if let Some(path) = get(options, "--netlist") {
+        return characterize_netlist(path, options);
+    }
     let kind = parse_kind(options)?;
     let value = require(options, "--width")?;
     let width: usize = value.parse().map_err(|_| AixError::InvalidOption {
@@ -685,6 +943,9 @@ fn characterize(options: &HashMap<String, String>) -> CliResult {
 /// netlists, scores them for functional error and aged delay, and prints
 /// the Pareto front of (error, aged slack, gate count).
 fn explore(options: &HashMap<String, String>) -> CliResult {
+    if let Some(path) = get(options, "--netlist") {
+        return explore_netlist(path, options);
+    }
     let kind = parse_kind(options)?;
     let value = require(options, "--width")?;
     let width: usize = match value.parse() {
@@ -774,6 +1035,9 @@ fn explore(options: &HashMap<String, String>) -> CliResult {
 }
 
 fn flow(options: &HashMap<String, String>) -> CliResult {
+    if let Some(path) = get(options, "--netlist") {
+        return flow_netlist(path, options);
+    }
     let scenario = parse_scenario(options)?;
     let policy = parse_policy(options, "--verify", VerifyPolicy::Off)?;
     let cells = Arc::new(Library::nangate45_like());
@@ -858,6 +1122,9 @@ fn flow(options: &HashMap<String, String>) -> CliResult {
 }
 
 fn verify(options: &HashMap<String, String>) -> CliResult {
+    if let Some(path) = get(options, "--netlist") {
+        return verify_netlist(path, options);
+    }
     let policy = parse_policy(options, "--policy", VerifyPolicy::FailFast)?;
     let config = parse_verify_config(options)?;
     let cells = Arc::new(Library::nangate45_like());

@@ -12,7 +12,7 @@ fn help_lists_every_command() {
     let output = aix().arg("help").output().expect("spawn aix");
     assert!(output.status.success());
     let text = String::from_utf8_lossy(&output.stdout);
-    for command in ["characterize", "explore", "flow", "verify", "error-rate", "quality", "export"] {
+    for command in ["import", "characterize", "explore", "flow", "verify", "error-rate", "quality", "export"] {
         assert!(text.contains(command), "help must mention `{command}`");
     }
 }
@@ -389,6 +389,143 @@ fn missing_library_file_error_names_the_path() {
         .expect("spawn aix");
     assert!(!output.status.success());
     assert!(String::from_utf8_lossy(&output.stderr).contains("/nonexistent/lib.txt"));
+}
+
+#[test]
+fn import_summarizes_and_reemits_corpus_designs() {
+    let dir = std::env::temp_dir().join(format!("aix-cli-import-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let reemitted = dir.join("rca8.edif");
+    // Integration tests run from the workspace root, so the corpus is
+    // reachable by relative path.
+    let output = aix()
+        .args(["import", "tests/corpus/rca8.v", "--emit", "edif", "--out"])
+        .arg(&reemitted)
+        .output()
+        .expect("spawn aix");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("`rca8` 8 gate(s)"), "summary line: {stdout}");
+
+    // The re-emitted EDIF imports too, closing the cross-format loop.
+    let output = aix().arg("import").arg(&reemitted).output().expect("spawn aix");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn import_errors_name_file_line_and_column() {
+    let dir = std::env::temp_dir().join("aix-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("broken.v");
+    std::fs::write(&path, "module broken(a;\n").expect("write");
+    let output = aix().arg("import").arg(&path).output().expect("spawn aix");
+    assert_eq!(output.status.code(), Some(1), "nothing imported exits 1");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("broken.v:1:16:"),
+        "errors must carry file:line:col: {stderr}"
+    );
+}
+
+#[test]
+fn import_exits_partial_when_some_files_fail() {
+    let dir = std::env::temp_dir().join("aix-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("broken2.v");
+    std::fs::write(&path, "module broken(\n").expect("write");
+    let output = aix()
+        .args(["import", "tests/corpus/full_adder.v"])
+        .arg(&path)
+        .output()
+        .expect("spawn aix");
+    assert_eq!(
+        output.status.code(),
+        Some(2),
+        "a mixed batch exits 2; stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(String::from_utf8_lossy(&output.stdout).contains("full_adder"));
+}
+
+#[test]
+fn import_fault_probe_quarantines_the_file() {
+    // A certain-fire import-stage panic: the file is quarantined (not a
+    // crash), and with no survivors the exit code is 1.
+    let output = aix()
+        .args([
+            "import",
+            "tests/corpus/full_adder.v",
+            "--fault",
+            "panic:p=1,seed=3,stage=import",
+        ])
+        .output()
+        .expect("spawn aix");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("QUARANTINED"), "stderr: {stderr}");
+
+    // The same plan scoped to another stage leaves the import untouched.
+    let output = aix()
+        .args([
+            "import",
+            "tests/corpus/full_adder.v",
+            "--fault",
+            "panic:p=1,seed=3,stage=synth",
+        ])
+        .output()
+        .expect("spawn aix");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+/// The acceptance loop: the full aging flow (activity → aged STA → Eq. 2
+/// precision selection) completes on one imported Verilog and one
+/// imported EDIF corpus design.
+#[test]
+fn flow_completes_on_imported_corpus_designs() {
+    for netlist in ["tests/corpus/rca8.v", "tests/corpus/rca4.edif"] {
+        let output = aix()
+            .args(["flow", "--netlist", netlist, "--vectors", "64"])
+            .output()
+            .expect("spawn aix");
+        assert!(
+            output.status.success(),
+            "{netlist} stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(stdout.contains("timing MET"), "{netlist}: {stdout}");
+        assert!(stdout.contains("cut"), "{netlist}: {stdout}");
+    }
+}
+
+#[test]
+fn verify_netlist_reports_margins_and_honors_policy() {
+    let output = aix()
+        .args([
+            "verify", "--netlist", "tests/corpus/rca8.v", "--vectors", "64", "--samples", "8",
+        ])
+        .output()
+        .expect("spawn aix");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("PASS") && stdout.contains("margin"), "{stdout}");
 }
 
 #[test]

@@ -1,0 +1,8 @@
+// ANSI-header bus ports and positional instance connections: a 4-bit
+// 2:1 multiplexer built from MUX2 primitives (select on pin c).
+module bus_mux(input [3:0] a, b, input sel, output [3:0] y);
+  MUX2_X1 m0 (a[0], b[0], sel, y[0]);
+  MUX2_X1 m1 (a[1], b[1], sel, y[1]);
+  MUX2_X1 m2 (a[2], b[2], sel, y[2]);
+  MUX2_X1 m3 (a[3], b[3], sel, y[3]);
+endmodule

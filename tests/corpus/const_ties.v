@@ -1,0 +1,8 @@
+// Constant ties: literal 1'b0/1'b1 connections, the Verilog spelling of
+// tie cells. Constant propagation downstream must see real constants.
+module const_ties(input a, output y, output z);
+  wire t;
+  AND2_X1 g0 (.a(a), .b(1'b1), .y(t));
+  OR2_X1 g1 (.a(t), .b(1'b0), .y(y));
+  NAND2_X1 g2 (.a(a), .b(1'b0), .y(z));
+endmodule

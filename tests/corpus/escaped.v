@@ -1,0 +1,12 @@
+// Escaped identifiers: synthesis tools emit these for names with
+// characters outside [A-Za-z0-9_$]. The importer must keep them distinct
+// and the re-export must stay collision-free.
+module escaped(\data[0] , \data[1] , \out! );
+  input \data[0] ;
+  input \data[1] ;
+  output \out! ;
+
+  wire \n#1 ;
+  XOR2_X1 g0 (.a(\data[0] ), .b(\data[1] ), .y(\n#1 ));
+  INV_X1 g1 (.a(\n#1 ), .y(\out! ));
+endmodule

@@ -1,0 +1,11 @@
+// Hand-written single-bit full adder in the classic non-ANSI style:
+// the header lists port names, directions follow in the body.
+module full_adder(a, b, cin, sum, cout);
+  input a;
+  input b;
+  input cin;
+  output sum;
+  output cout;
+
+  FA_X1 u_fa (.a(a), .b(b), .c(cin), .y(sum), .co(cout));
+endmodule

@@ -1,0 +1,15 @@
+// Hand-written 8-bit ripple-carry adder: the canonical imported design
+// for the aging flow — truncating LSBs shortens the carry chain, so
+// Eq. 2 can trade precision for aged timing slack.
+module rca8(input [7:0] a, input [7:0] b, input cin,
+            output [7:0] sum, output cout);
+  wire c0, c1, c2, c3, c4, c5, c6;
+  FA_X1 fa0 (.a(a[0]), .b(b[0]), .c(cin), .y(sum[0]), .co(c0));
+  FA_X1 fa1 (.a(a[1]), .b(b[1]), .c(c0), .y(sum[1]), .co(c1));
+  FA_X1 fa2 (.a(a[2]), .b(b[2]), .c(c1), .y(sum[2]), .co(c2));
+  FA_X1 fa3 (.a(a[3]), .b(b[3]), .c(c2), .y(sum[3]), .co(c3));
+  FA_X1 fa4 (.a(a[4]), .b(b[4]), .c(c3), .y(sum[4]), .co(c4));
+  FA_X1 fa5 (.a(a[5]), .b(b[5]), .c(c4), .y(sum[5]), .co(c5));
+  FA_X1 fa6 (.a(a[6]), .b(b[6]), .c(c5), .y(sum[6]), .co(c6));
+  FA_X1 fa7 (.a(a[7]), .b(b[7]), .c(c6), .y(sum[7]), .co(cout));
+endmodule

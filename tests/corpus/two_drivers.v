@@ -1,0 +1,8 @@
+// Negative case: two gate outputs drive the same wire — structurally
+// illegal for a combinational netlist, reported as MultipleDrivers.
+module two_drivers(input a, input b, output y);
+  wire w;
+  INV_X1 g0 (.a(a), .y(w));
+  INV_X1 g1 (.a(b), .y(w));
+  BUF_X1 g2 (.a(w), .y(y));
+endmodule

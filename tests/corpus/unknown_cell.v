@@ -1,0 +1,5 @@
+// Negative case: the instantiated cell exists in no library and matches
+// no alias — the importer must report UnknownCell with its position.
+module unknown_cell(input a, output y);
+  BOGUS_X9 u0 (.a(a), .y(y));
+endmodule
